@@ -1,0 +1,265 @@
+// Package vod's benchmark harness: one benchmark per paper artifact
+// (Table 1, Table 2, Figures 3–15, the §4.1.1 what-if analysis) plus
+// micro-benchmarks of the substrates. Each artifact benchmark regenerates
+// the full experiment per iteration, so `go test -bench .` both times the
+// reproduction and re-validates that every experiment still runs.
+package vod
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/live"
+	"repro/internal/manifest"
+	"repro/internal/manifest/dash"
+	"repro/internal/manifest/hls"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/origin"
+	"repro/internal/player"
+	"repro/internal/qoe"
+	"repro/internal/services"
+	"repro/internal/simnet"
+	"repro/internal/traffic"
+	"repro/internal/uimon"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFig6(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkSRWhatIf(b *testing.B) { benchExperiment(b, "sr_whatif") }
+func BenchmarkFig11(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)    { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)    { benchExperiment(b, "fig15") }
+
+func BenchmarkAblEnergy(b *testing.B)     { benchExperiment(b, "abl_energy") }
+func BenchmarkAblSegDur(b *testing.B)     { benchExperiment(b, "abl_segdur") }
+func BenchmarkAblSplit(b *testing.B)      { benchExperiment(b, "abl_split") }
+func BenchmarkAblSRCap(b *testing.B)      { benchExperiment(b, "abl_srcap") }
+func BenchmarkAblAlgorithms(b *testing.B) { benchExperiment(b, "abl_algorithms") }
+func BenchmarkAblRecovery(b *testing.B)   { benchExperiment(b, "abl_recovery") }
+func BenchmarkAblAbandon(b *testing.B)    { benchExperiment(b, "abl_abandon") }
+func BenchmarkAblFairness(b *testing.B)   { benchExperiment(b, "abl_fairness") }
+
+// BenchmarkLiveSession measures a 4-minute live session (playlist
+// polling + edge tracking) on the simulator.
+func BenchmarkLiveSession(b *testing.B) {
+	v, err := media.Generate(media.Config{
+		Name: "live", Duration: 1200, SegmentDuration: 4,
+		TargetBitrates: []float64{250e3, 500e3, 1e6},
+		Seed:           17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := live.NewOrigin(v)
+	p := netem.Constant("c", 8e6, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := simnet.New(simnet.DefaultConfig(), p)
+		if _, err := live.Play(live.Config{JoinAt: 60, SessionDuration: 240}, o, net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkSession10Min measures one full 10-minute virtual-time session
+// (the unit of every experiment above).
+func BenchmarkSession10Min(b *testing.B) {
+	svc := services.ByName("H1")
+	org, err := svc.Origin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := netem.Cellular(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := services.RunWithOrigin(svc.Player, org, p, 600, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimnetTransfers measures raw fluid-network throughput: 1000
+// back-to-back transfers on one connection.
+func BenchmarkSimnetTransfers(b *testing.B) {
+	p := netem.Constant("c", 10e6, 1e6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := simnet.New(simnet.DefaultConfig(), p)
+		c := n.Dial()
+		for j := 0; j < 1000; j++ {
+			c.Start(500e3, nil)
+			n.Step(1e6)
+		}
+	}
+}
+
+// BenchmarkMediaGenerate measures content synthesis (a 20-minute,
+// 6-track VBR video).
+func BenchmarkMediaGenerate(b *testing.B) {
+	cfg := media.Config{
+		Name: "b", Duration: 1200, SegmentDuration: 4,
+		TargetBitrates: []float64{200e3, 400e3, 800e3, 1.6e6, 3.2e6, 6.4e6},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclarePeak,
+		Seed: 1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := media.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHLSEncodeParse round-trips a 300-segment media playlist.
+func BenchmarkHLSEncodeParse(b *testing.B) {
+	v, err := media.Generate(media.Config{
+		Name: "b", Duration: 1200, SegmentDuration: 4,
+		TargetBitrates: []float64{500e3}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := manifest.Build(v, manifest.BuildOptions{Protocol: manifest.HLS})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		text := hls.EncodeMedia(p.Video[0])
+		if _, err := hls.ParseMedia(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPDEncodeDecode round-trips a sidx-addressed MPD.
+func BenchmarkMPDEncodeDecode(b *testing.B) {
+	v, err := media.Generate(media.Config{
+		Name: "b", Duration: 1200, SegmentDuration: 4,
+		TargetBitrates: []float64{250e3, 500e3, 1e6},
+		SeparateAudio:  true, AudioSegmentDuration: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := manifest.Build(v, manifest.BuildOptions{Protocol: manifest.DASH, Addressing: manifest.RangesInManifest})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, err := dash.Encode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dash.Decode("b", body, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrafficAnalyze measures the analyzer over a full session log.
+func BenchmarkTrafficAnalyze(b *testing.B) {
+	svc := services.ByName("D2")
+	res, err := svc.Run(netem.Cellular(6), 600, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.Analyze("D2", res.Transactions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQoEInference measures the full §2 pipeline: traffic analysis +
+// UI samples → inferred QoE and buffer timeline.
+func BenchmarkQoEInference(b *testing.B) {
+	svc := services.ByName("H5")
+	res, err := svc.Run(netem.Cellular(4), 600, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := uimon.FromResult(res)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := traffic.Analyze("H5", res.Transactions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qoe.Infer(tr, samples)
+	}
+}
+
+// BenchmarkOriginBuild measures manifest + sidx encoding for a service.
+func BenchmarkOriginBuild(b *testing.B) {
+	svc := services.ByName("D3")
+	v, err := svc.Video()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pres := manifest.Build(v, svc.Build)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := origin.New(pres); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlayerAllServices streams every service model for one minute
+// of virtual time — the cross-sectional sweep as a unit of work.
+func BenchmarkPlayerAllServices(b *testing.B) {
+	type pair struct {
+		cfg player.Config
+		org *origin.Origin
+	}
+	var pairs []pair
+	for _, svc := range services.All() {
+		org, err := svc.Origin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs = append(pairs, pair{svc.Player, org})
+	}
+	p := netem.Cellular(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pr := range pairs {
+			if _, err := services.RunWithOrigin(pr.cfg, pr.org, p, 60, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

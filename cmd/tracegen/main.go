@@ -1,0 +1,57 @@
+// Command tracegen writes the synthetic cellular bandwidth traces (the
+// Figure 3 stand-ins) in the netem text format, or summarises them.
+//
+// Usage:
+//
+//	tracegen -summary
+//	tracegen -profile 3            # dump profile 3 to stdout
+//	tracegen -all -dir traces/     # write all 14 as traces/cellular-NN.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/netem"
+)
+
+func main() {
+	summary := flag.Bool("summary", false, "print per-profile statistics")
+	profile := flag.Int("profile", 0, "dump one profile (1..14) to stdout")
+	all := flag.Bool("all", false, "write every profile to -dir")
+	dir := flag.String("dir", ".", "output directory for -all")
+	flag.Parse()
+
+	switch {
+	case *summary:
+		fmt.Printf("%-12s %10s %10s %10s\n", "profile", "avg Mbps", "min Mbps", "max Mbps")
+		for _, p := range netem.CellularSet() {
+			fmt.Printf("%-12s %10.2f %10.2f %10.2f\n", p.Name, p.Average()/1e6, p.Min()/1e6, p.Max()/1e6)
+		}
+	case *profile >= 1 && *profile <= netem.CellularCount:
+		if err := netem.Cellular(*profile).Format(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case *all:
+		for _, p := range netem.CellularSet() {
+			path := filepath.Join(*dir, p.Name+".txt")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := p.Format(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,63 @@
+// Command vodbench regenerates the paper's tables and figures from the
+// simulated testbed.
+//
+// Usage:
+//
+//	vodbench -list
+//	vodbench -exp fig8
+//	vodbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids")
+	exp := flag.String("exp", "", "experiment id (fig3..fig15, table1, table2, sr_whatif, or 'all')")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	if *exp == "all" {
+		todo = experiments.All()
+	} else {
+		e := experiments.ByID(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "vodbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{*e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tables, plots, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vodbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		for _, p := range plots {
+			fmt.Println(p)
+		}
+	}
+}

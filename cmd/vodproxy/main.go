@@ -1,0 +1,64 @@
+// Command vodproxy runs the paper's measurement proxy (§2.2, Figure 2)
+// for real: a forward HTTP proxy that shapes downstream bandwidth and
+// records every exchange; on SIGINT it analyzes the recorded traffic the
+// way the paper does and prints the recovered presentation and segment
+// downloads.
+//
+// Usage:
+//
+//	vodproxy -addr :8888 -rate 2.5            # shape to 2.5 Mbit/s
+//	http_proxy=http://localhost:8888 <player>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"repro/internal/proxy"
+	"repro/internal/traffic"
+)
+
+func main() {
+	addr := flag.String("addr", ":8888", "listen address")
+	rate := flag.Float64("rate", 0, "downstream rate limit in Mbit/s (0 = unshaped)")
+	name := flag.String("name", "capture", "presentation name used in the analysis")
+	flag.Parse()
+
+	rec := proxy.New(nil, *rate*1e6)
+	srv := &http.Server{Addr: *addr, Handler: rec}
+	go func() {
+		log.Printf("vodproxy listening on %s (rate %.2f Mbit/s); Ctrl-C to analyze", *addr, *rate)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+
+	txs := rec.Log()
+	log.Printf("recorded %d transactions", len(txs))
+	res, err := traffic.Analyze(*name, txs)
+	if err != nil {
+		log.Fatalf("vodproxy: analysis failed: %v", err)
+	}
+	fmt.Printf("presentation: %s, %d video + %d audio tracks\n",
+		res.Presentation.Protocol, len(res.Presentation.Video), len(res.Presentation.Audio))
+	for _, r := range res.Presentation.Video {
+		fmt.Printf("  track %d: %.0f kbit/s declared\n", r.ID, r.DeclaredBitrate/1e3)
+	}
+	fmt.Printf("segments recovered: %d (%d unmatched transactions)\n", len(res.Segments), len(res.Unmatched))
+	for i, s := range res.Segments {
+		if i >= 20 {
+			fmt.Printf("  ... %d more\n", len(res.Segments)-20)
+			break
+		}
+		fmt.Printf("  %6.2fs %s track=%d idx=%d %7.1f KB\n", s.Start, s.Type, s.Track, s.Index, float64(s.Bytes)/1e3)
+	}
+}

@@ -1,0 +1,55 @@
+// Command vodreport regenerates every experiment and writes a single
+// markdown report — the machine-refreshable companion to EXPERIMENTS.md.
+//
+// Usage:
+//
+//	vodreport -out REPORT.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "REPORT.md", "output file (- for stdout)")
+	flag.Parse()
+
+	var b strings.Builder
+	b.WriteString("# Regenerated experiment report\n\n")
+	b.WriteString("Produced by `vodreport`; every table below is regenerated from the\n")
+	b.WriteString("committed code with fixed seeds. See EXPERIMENTS.md for the\n")
+	b.WriteString("paper-vs-measured comparison and DESIGN.md for the substitutions.\n")
+	for _, e := range experiments.All() {
+		start := time.Now()
+		tables, plots, err := e.Run()
+		if err != nil {
+			log.Fatalf("vodreport: %s: %v", e.ID, err)
+		}
+		fmt.Fprintf(&b, "\n## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(&b, "_regenerated in %.1fs_\n\n", time.Since(start).Seconds())
+		for _, t := range tables {
+			b.WriteString(t.Markdown())
+			b.WriteString("\n")
+		}
+		for _, p := range plots {
+			b.WriteString("```\n")
+			b.WriteString(p)
+			b.WriteString("```\n\n")
+		}
+	}
+	if *out == "-" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		log.Fatalf("vodreport: %v", err)
+	}
+	fmt.Println("wrote", *out)
+}

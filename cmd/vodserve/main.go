@@ -1,0 +1,39 @@
+// Command vodserve generates one of the service models' presentations and
+// serves it over real HTTP — manifests (HLS playlists / DASH MPD with
+// sidx / SmoothStreaming) plus synthetic media payloads with Range and
+// HEAD support. Point any HAS client (or cmd/vodplay's HTTP sibling in
+// examples/realhttp) at it.
+//
+// Usage:
+//
+//	vodserve -service H1 -addr :8080
+//	curl http://localhost:8080/h1/master.m3u8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/services"
+)
+
+func main() {
+	name := flag.String("service", "H1", "service model whose content to serve")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	svc := services.ByName(*name)
+	if svc == nil {
+		fmt.Fprintf(os.Stderr, "vodserve: unknown service %q\n", *name)
+		os.Exit(2)
+	}
+	org, err := svc.Origin()
+	if err != nil {
+		log.Fatalf("vodserve: %v", err)
+	}
+	log.Printf("serving %s (%s) on %s — manifest at %s", svc.Name, svc.Build.Protocol, *addr, org.Pres.ManifestURL())
+	log.Fatal(http.ListenAndServe(*addr, org))
+}

@@ -1,0 +1,81 @@
+package vod_test
+
+import (
+	"fmt"
+
+	vod "repro"
+	"repro/internal/adaptation"
+	"repro/internal/manifest"
+	"repro/internal/media"
+	"repro/internal/player"
+)
+
+// ExampleServiceByName streams one of the paper's service models over a
+// synthetic cellular trace and reads its QoE.
+func ExampleServiceByName() {
+	svc := vod.ServiceByName("D2")
+	res, err := svc.Run(vod.CellularProfile(6), 600, nil)
+	if err != nil {
+		panic(err)
+	}
+	rep := vod.QoE(res)
+	fmt.Printf("stalls: %d\n", rep.StallCount)
+	fmt.Printf("played: %v\n", rep.PlayedSec > 500)
+	// Output:
+	// stalls: 0
+	// played: true
+}
+
+// ExampleStream assembles a custom pipeline: content → manifest → origin
+// → session → QoE.
+func ExampleStream() {
+	video, err := vod.GenerateVideo(vod.MediaConfig{
+		Name: "doc", Duration: 120, SegmentDuration: 4,
+		TargetBitrates: []float64{300e3, 600e3, 1.2e6},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclarePeak,
+		Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	org, err := vod.NewOrigin(vod.BuildManifest(video, vod.BuildOptions{
+		Protocol: manifest.DASH, Addressing: manifest.SidxRanges,
+	}))
+	if err != nil {
+		panic(err)
+	}
+	cfg := vod.PlayerConfig{
+		Name: "doc", StartupBufferSec: 4, StartupTrack: 0,
+		PauseThresholdSec: 30, ResumeThresholdSec: 20,
+		MaxConnections: 1, Persistent: true, Scheduler: player.SchedulerSingle,
+		Algorithm: adaptation.DefaultHysteresis(),
+	}
+	res, err := vod.Stream(cfg, org, vod.ConstantProfile(5e6, 200), 150)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("startup under 2s: %v\n", res.StartupDelay < 2)
+	fmt.Printf("no stalls: %v\n", len(res.Stalls) == 0)
+	// Output:
+	// startup under 2s: true
+	// no stalls: true
+}
+
+// ExampleAnalyzeTraffic runs the paper's traffic-analysis methodology on
+// a session's HTTP log.
+func ExampleAnalyzeTraffic() {
+	svc := vod.ServiceByName("H1")
+	res, err := svc.Run(vod.ConstantProfile(4e6, 120), 120, nil)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := vod.AnalyzeTraffic("H1", res.Transactions)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("unmatched: %d\n", len(tr.Unmatched))
+	fmt.Printf("protocol: %v\n", tr.Presentation.Protocol)
+	// Output:
+	// unmatched: 0
+	// protocol: HLS
+}

@@ -1,0 +1,51 @@
+// Compare_services reruns the heart of the paper's cross-sectional study:
+// all twelve service models stream the same cellular bandwidth profiles,
+// and their QoE is laid side by side — exposing how the Table 1 design
+// choices (bottom-track bitrate, startup logic, buffer thresholds,
+// connection handling, adaptation aggressiveness) turn into startup
+// delay, stalls and delivered quality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vod "repro"
+	"repro/internal/textplot"
+)
+
+func main() {
+	profiles := []int{1, 3, 7} // low / medium / high bandwidth
+	for _, pi := range profiles {
+		p := vod.CellularProfile(pi)
+		t := &textplot.Table{
+			Title: fmt.Sprintf("QoE on cellular profile %d (avg %.2f Mbit/s)", pi, p.Average()/1e6),
+			Header: []string{"service", "startup (s)", "stalls", "stall (s)",
+				"avg kbit/s", "switches", "data MB", "waste MB"},
+		}
+		for _, svc := range vod.Services() {
+			res, err := svc.Run(p, 600, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := vod.QoE(res)
+			t.AddRow(svc.Name,
+				fmt.Sprintf("%.1f", rep.StartupDelay),
+				fmt.Sprintf("%d", rep.StallCount),
+				fmt.Sprintf("%.1f", rep.StallSec),
+				fmt.Sprintf("%.0f", rep.AvgBitrate/1e3),
+				fmt.Sprintf("%d", rep.Switches),
+				fmt.Sprintf("%.1f", rep.DataUsageBytes/1e6),
+				fmt.Sprintf("%.1f", rep.WastedBytes/1e6),
+			)
+		}
+		fmt.Println(t.String())
+	}
+	fmt.Println("Things to look for (cf. Table 2 of the paper):")
+	fmt.Println("  - H2/H5/S1 stall on profile 1: their bottom tracks exceed 500 kbit/s.")
+	fmt.Println("  - S2 stalls even on mid profiles: it resumes downloads at a 4 s buffer.")
+	fmt.Println("  - D1 switches constantly and wastes stalls despite a full video buffer.")
+	fmt.Println("  - H1/H4 burn data on segment replacement (waste column).")
+	fmt.Println("  - D2's average bitrate trails everyone at equal bandwidth: it adapts on")
+	fmt.Println("    declared bitrates that are twice the actual ones.")
+}

@@ -1,0 +1,65 @@
+// Realhttp streams over actual sockets: it starts the origin as a real
+// net/http server on localhost, shapes the client's transport with a
+// token bucket (the wall-clock stand-in for the paper's tc shaping), and
+// runs the live HTTP player against it. Unlike the other examples this
+// one runs in real time, so it uses a short clip.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	vod "repro"
+	"repro/internal/adaptation"
+	"repro/internal/httpplay"
+	"repro/internal/manifest"
+	"repro/internal/media"
+)
+
+func main() {
+	// A short clip so the demo finishes in ~10 s of wall time.
+	video, err := vod.GenerateVideo(vod.MediaConfig{
+		Name: "clip", Duration: 8, SegmentDuration: 2,
+		TargetBitrates: []float64{250e3, 500e3, 1e6},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclarePeak,
+		Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	org, err := vod.NewOrigin(vod.BuildManifest(video, vod.BuildOptions{
+		Protocol: manifest.DASH, Addressing: manifest.SidxRanges,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(org)
+	defer srv.Close()
+	fmt.Println("origin serving at", srv.URL+org.Pres.ManifestURL())
+
+	// Shape the link to 3 Mbit/s.
+	shaper := httpplay.NewShaper(http.DefaultTransport, 3e6)
+	client := &http.Client{Transport: shaper}
+
+	res, err := httpplay.Play(httpplay.Config{
+		ManifestURL:        srv.URL + org.Pres.ManifestURL(),
+		Client:             client,
+		Algorithm:          adaptation.Throughput{Factor: 0.75},
+		StartupBufferSec:   2,
+		PauseThresholdSec:  6,
+		ResumeThresholdSec: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("startup delay : %v\n", res.StartupDelay.Round(1e6))
+	fmt.Printf("stalls        : %d (%v)\n", res.Stalls, res.StallTime.Round(1e6))
+	fmt.Printf("played        : %.1f s of media\n", res.PlayedMedia)
+	fmt.Printf("downloaded    : %d segments, %.2f MB\n", len(res.Downloads), float64(res.Bytes)/1e6)
+	for _, d := range res.Downloads {
+		fmt.Printf("  %-5s track=%d idx=%d %6.1f KB in %v\n",
+			d.Type, d.Track, d.Index, float64(d.Bytes)/1e3, d.Took.Round(1e6))
+	}
+}

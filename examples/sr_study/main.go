@@ -1,0 +1,94 @@
+// Sr_study walks through the paper's §4.1 segment-replacement story on a
+// single player: no SR, the harmful contiguous-on-upswitch scheme
+// (H4 / ExoPlayer v1), the improved per-segment scheme, and the
+// data-saving capped variant — comparing quality gained against data
+// burned on every cellular profile.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vod "repro"
+	"repro/internal/adaptation"
+	"repro/internal/manifest"
+	"repro/internal/media"
+	"repro/internal/player"
+	"repro/internal/replacement"
+	"repro/internal/textplot"
+)
+
+func main() {
+	video, err := vod.GenerateVideo(vod.MediaConfig{
+		Name: "srdemo", Duration: 1200, SegmentDuration: 4,
+		TargetBitrates: []float64{200e3, 400e3, 800e3, 1.5e6, 2.8e6},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclarePeak,
+		Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	org, err := vod.NewOrigin(vod.BuildManifest(video, vod.BuildOptions{
+		Protocol: manifest.DASH, Addressing: manifest.SidxRanges,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := vod.PlayerConfig{
+		Name: "sr-study", StartupBufferSec: 8, StartupSegments: 2, StartupTrack: 1,
+		PauseThresholdSec: 60, ResumeThresholdSec: 45,
+		MaxConnections: 1, Persistent: true, Scheduler: player.SchedulerSingle,
+		Algorithm: adaptation.DefaultHysteresis(),
+	}
+
+	policies := []struct {
+		name string
+		mut  func(*vod.PlayerConfig)
+	}{
+		{"no SR", func(c *vod.PlayerConfig) {}},
+		{"contiguous on up-switch (H4-style)", func(c *vod.PlayerConfig) {
+			c.Replacement = replacement.ContiguousOnUpswitch{IgnoreBufferedQuality: true}
+		}},
+		{"per-segment, improve-only", func(c *vod.PlayerConfig) {
+			c.Replacement = replacement.PerSegment{MinBufferSec: 30, CapTrack: -1}
+			c.MidBufferDiscard = true
+		}},
+		{"per-segment, capped at rung 3", func(c *vod.PlayerConfig) {
+			c.Replacement = replacement.PerSegment{MinBufferSec: 30, CapTrack: 2}
+			c.MidBufferDiscard = true
+		}},
+	}
+
+	t := &textplot.Table{
+		Title:  "Segment replacement policies over the 14 cellular profiles (medians)",
+		Header: []string{"policy", "avg kbit/s", "stall s", "data MB", "waste MB", "low-track time"},
+	}
+	for _, pol := range policies {
+		var rate, stall, data, waste, low []float64
+		for i := 1; i <= 14; i++ {
+			cfg := base
+			pol.mut(&cfg)
+			res, err := vod.Stream(cfg, org, vod.CellularProfile(i), 600)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := vod.QoE(res)
+			rate = append(rate, rep.AvgBitrate)
+			stall = append(stall, rep.StallSec)
+			data = append(data, rep.DataUsageBytes)
+			waste = append(waste, rep.WastedBytes)
+			low = append(low, rep.PctTimeBelow(res.Declared, 800e3))
+		}
+		t.AddRow(pol.name,
+			fmt.Sprintf("%.0f", textplot.Median(rate)/1e3),
+			fmt.Sprintf("%.1f", textplot.Median(stall)),
+			fmt.Sprintf("%.1f", textplot.Median(data)/1e6),
+			fmt.Sprintf("%.1f", textplot.Median(waste)/1e6),
+			textplot.Pct(textplot.Median(low)),
+		)
+	}
+	fmt.Println(t.String())
+	fmt.Println("The per-segment scheme buys its quality with extra data; the capped")
+	fmt.Println("variant keeps most of the low-track reduction at a fraction of the waste.")
+}

@@ -1,0 +1,108 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/traffic"
+)
+
+func tx(s, e float64) traffic.Transaction {
+	return traffic.Transaction{Start: s, End: e, Bytes: 1}
+}
+
+func TestAnalyzeBasic(t *testing.T) {
+	m := Model{DemotionTimer: 10, ActivePower: 1, TailPower: 0.5, IdlePower: 0}
+	// Activity 0–10, gap 10–40 (10 s tail + 20 s idle), activity 40–50,
+	// then 50–60 tail.
+	u := m.Analyze([]traffic.Transaction{tx(0, 10), tx(40, 50)}, 60)
+	if math.Abs(u.ActiveSec-20) > 1e-9 {
+		t.Fatalf("active %v", u.ActiveSec)
+	}
+	if math.Abs(u.TailSec-20) > 1e-9 {
+		t.Fatalf("tail %v", u.TailSec)
+	}
+	if math.Abs(u.IdleSec-20) > 1e-9 {
+		t.Fatalf("idle %v", u.IdleSec)
+	}
+	// Only the 30 s gap demotes; the trailing gap equals the timer
+	// exactly, so the radio is still in the tail at session end.
+	if u.Demotions != 1 {
+		t.Fatalf("demotions %d", u.Demotions)
+	}
+	if math.Abs(u.Joules-(20*1+20*0.5)) > 1e-9 {
+		t.Fatalf("joules %v", u.Joules)
+	}
+}
+
+func TestShortGapNeverDemotes(t *testing.T) {
+	m := DefaultLTE()
+	// Bursts every 8 s with 5 s gaps — below the 11 s demotion timer:
+	// the radio must stay high-power the whole session (the §3.3.2
+	// issue with thresholds less than 10 s apart).
+	var txs []traffic.Transaction
+	for s := 0.0; s < 100; s += 8 {
+		txs = append(txs, tx(s, s+3))
+	}
+	u := m.Analyze(txs, 100)
+	if u.Demotions != 0 {
+		t.Fatalf("radio demoted %d times with 5 s gaps", u.Demotions)
+	}
+	if u.HighPowerShare() < 0.999 {
+		t.Fatalf("high-power share %v, want 1", u.HighPowerShare())
+	}
+}
+
+func TestWideGapSavesEnergy(t *testing.T) {
+	m := DefaultLTE()
+	short := m.Analyze([]traffic.Transaction{tx(0, 10), tx(18, 28), tx(36, 46)}, 60)
+	wide := m.Analyze([]traffic.Transaction{tx(0, 10), tx(40, 50)}, 60)
+	if wide.Joules >= short.Joules {
+		t.Fatalf("wide gaps (%.1f J) should save energy vs short gaps (%.1f J)", wide.Joules, short.Joules)
+	}
+}
+
+func TestOverlappingActivityMerges(t *testing.T) {
+	m := Model{DemotionTimer: 5, ActivePower: 1, TailPower: 1, IdlePower: 0}
+	u := m.Analyze([]traffic.Transaction{tx(0, 10), tx(5, 12), tx(11, 15)}, 20)
+	if math.Abs(u.ActiveSec-15) > 1e-9 {
+		t.Fatalf("merged active %v, want 15", u.ActiveSec)
+	}
+}
+
+func TestEmptySession(t *testing.T) {
+	u := DefaultLTE().Analyze(nil, 100)
+	if u.ActiveSec != 0 || u.TailSec != 0 || math.Abs(u.IdleSec-100) > 1e-9 {
+		t.Fatalf("empty session: %+v", u)
+	}
+}
+
+func TestRejectedIgnored(t *testing.T) {
+	u := DefaultLTE().Analyze([]traffic.Transaction{{Start: 0, End: 5, Rejected: true}}, 10)
+	if u.ActiveSec != 0 {
+		t.Fatalf("rejected tx counted as activity: %+v", u)
+	}
+}
+
+// TestQuickPartition: the three states always partition the session.
+func TestQuickPartition(t *testing.T) {
+	m := DefaultLTE()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var txs []traffic.Transaction
+		for i := 0; i < int(n%20); i++ {
+			s := rng.Float64() * 100
+			txs = append(txs, tx(s, s+rng.Float64()*10))
+		}
+		u := m.Analyze(txs, 120)
+		total := u.ActiveSec + u.TailSec + u.IdleSec
+		return math.Abs(total-120) < 1e-6 &&
+			u.ActiveSec >= 0 && u.TailSec >= 0 && u.IdleSec >= 0 &&
+			u.Joules >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

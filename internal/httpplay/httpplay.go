@@ -1,0 +1,476 @@
+// Package httpplay streams a HAS presentation over real HTTP in wall-
+// clock time — the live counterpart of the virtual-time engine in
+// internal/player. It fetches and parses real manifests (HLS playlists,
+// DASH MPD + sidx, SmoothStreaming), reuses the adaptation and estimator
+// interfaces, runs a single-connection sequential download loop with the
+// same startup gate and pause/resume download controller, and produces
+// the same QoE ingredients (downloads, stalls, startup delay).
+//
+// It exists so the library is usable against real origins (any server,
+// including cmd/vodserve or an httptest server) and so the manifest
+// codecs and origin HTTP handlers are exercised over actual sockets.
+package httpplay
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/adaptation"
+	"repro/internal/manifest"
+	"repro/internal/manifest/dash"
+	"repro/internal/manifest/hls"
+	"repro/internal/manifest/smooth"
+	"repro/internal/media"
+	"repro/internal/traffic"
+)
+
+// Config parameterises a live streaming session.
+type Config struct {
+	// ManifestURL is the absolute URL of the top-level manifest.
+	ManifestURL string
+	// Client is the HTTP client (nil = http.DefaultClient). Wrap its
+	// Transport with NewShaper to emulate a bandwidth limit.
+	Client *http.Client
+	// Algorithm selects tracks; nil defaults to ExoPlayer hysteresis.
+	Algorithm adaptation.Algorithm
+	// Estimator tracks throughput; nil defaults to an EWMA.
+	Estimator adaptation.Estimator
+	// StartupBufferSec and StartupSegments gate playback start.
+	StartupBufferSec float64
+	StartupSegments  int
+	// StartupTrack is the first track index.
+	StartupTrack int
+	// PauseThresholdSec/ResumeThresholdSec drive the download controller.
+	PauseThresholdSec, ResumeThresholdSec float64
+	// MaxDuration caps the session wall time (0 = until media ends).
+	MaxDuration time.Duration
+	// Now is the clock (nil = time.Now); tests can speed it up.
+	Now func() time.Time
+	// Sleep waits (nil = time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// Download records one fetched segment.
+type Download struct {
+	// Type is video or audio.
+	Type media.MediaType
+	// Track and Index identify the segment.
+	Track, Index int
+	// Bytes is the body size actually read.
+	Bytes int64
+	// Took is the exchange duration.
+	Took time.Duration
+}
+
+// Result summarises a live session.
+type Result struct {
+	// Presentation is the decoded manifest.
+	Presentation *manifest.Presentation
+	// Transactions is the HTTP log in the traffic analyzer's format
+	// (document bodies included), with times relative to session start —
+	// feed it to traffic.Analyze to run the paper's methodology over a
+	// real HTTP session.
+	Transactions []traffic.Transaction
+	// Downloads lists fetched segments in order.
+	Downloads []Download
+	// StartupDelay is the wall time until playback began (-1 = never).
+	StartupDelay time.Duration
+	// StallTime is the cumulative rebuffering wall time.
+	StallTime time.Duration
+	// Stalls counts rebuffering events.
+	Stalls int
+	// PlayedMedia is the media seconds consumed.
+	PlayedMedia float64
+	// Bytes is the total payload downloaded.
+	Bytes int64
+}
+
+// Play runs the session to completion.
+func Play(cfg Config) (*Result, error) {
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = adaptation.DefaultHysteresis()
+	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = adaptation.NewEWMA(0.4)
+	}
+	if cfg.StartupBufferSec <= 0 {
+		cfg.StartupBufferSec = 4
+	}
+	if cfg.StartupSegments <= 0 {
+		cfg.StartupSegments = 1
+	}
+	if cfg.PauseThresholdSec <= 0 {
+		cfg.PauseThresholdSec = 30
+	}
+	if cfg.ResumeThresholdSec <= 0 {
+		cfg.ResumeThresholdSec = cfg.PauseThresholdSec / 2
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	s := &liveSession{cfg: cfg}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+type liveSession struct {
+	cfg  Config
+	base *url.URL
+	pres *manifest.Presentation
+	res  Result
+
+	start       time.Time
+	started     bool
+	playBase    time.Time // wall time playback (re)started
+	playedSoFar float64   // media seconds consumed before playBase
+	nextVideo   int
+	nextAudio   int
+	bufVideoEnd float64 // contiguous downloaded media end
+	bufAudioEnd float64
+	lastTrack   int
+}
+
+// loadManifest fetches and decodes the top-level manifest plus whatever
+// companion documents the protocol needs (media playlists, sidx boxes).
+func (s *liveSession) loadManifest() error {
+	u, err := url.Parse(s.cfg.ManifestURL)
+	if err != nil {
+		return fmt.Errorf("httpplay: %w", err)
+	}
+	s.base = u
+	body, _, err := s.get(s.cfg.ManifestURL, -1, -1)
+	if err != nil {
+		return err
+	}
+	name := strings.Trim(strings.TrimSuffix(u.Path, lastElement(u.Path)), "/")
+	text := string(body)
+	switch {
+	case strings.HasPrefix(strings.TrimSpace(text), "#EXTM3U"):
+		variants, err := hls.ParseMaster(text)
+		if err != nil {
+			return err
+		}
+		bodies := map[string]string{}
+		for _, v := range variants {
+			b, _, err := s.get(s.resolve(v.URI), -1, -1)
+			if err != nil {
+				return err
+			}
+			bodies[v.URI] = string(b)
+		}
+		s.pres, err = hls.Decode(name, text, bodies)
+		return err
+	case strings.Contains(text, "<MPD"):
+		// Learn the index ranges from the MPD, fetch each track's sidx
+		// with ranged requests, then decode the full presentation.
+		ranges, err := dash.IndexRanges(body)
+		if err != nil {
+			return err
+		}
+		sidxBodies := map[string][]byte{}
+		for mediaURL, rng := range ranges {
+			b, _, err := s.get(s.resolve(mediaURL), rng[0], rng[1])
+			if err != nil {
+				return err
+			}
+			sidxBodies[mediaURL] = b
+		}
+		s.pres, err = dash.Decode(name, body, sidxBodies)
+		return err
+	case strings.Contains(text, "<SmoothStreamingMedia"):
+		s.pres, err = smooth.Decode(name, body)
+		return err
+	}
+	return fmt.Errorf("httpplay: unrecognised manifest at %s", s.cfg.ManifestURL)
+}
+
+func (s *liveSession) run() (*Result, error) {
+	s.start = s.cfg.Now()
+	s.res.Presentation = s.pres
+	s.res.StartupDelay = -1
+	s.lastTrack = -1
+	videoSegs := s.pres.Video[0].Segments
+	for {
+		if s.cfg.MaxDuration > 0 && s.cfg.Now().Sub(s.start) > s.cfg.MaxDuration {
+			break
+		}
+		s.advancePlayback()
+		if s.started && s.playhead() >= s.pres.Duration-1e-9 {
+			break
+		}
+		// Download controller.
+		occ := s.occupancy()
+		if occ >= s.cfg.PauseThresholdSec {
+			drain := occ - s.cfg.ResumeThresholdSec
+			s.cfg.Sleep(time.Duration(drain * float64(time.Second)))
+			continue
+		}
+		task := s.nextTask()
+		if task < 0 {
+			// Everything downloaded; wait for playback to finish.
+			if !s.started {
+				s.beginPlayback()
+			}
+			remain := s.pres.Duration - s.playhead()
+			if remain <= 0 {
+				break
+			}
+			s.cfg.Sleep(time.Duration(remain * float64(time.Second)))
+			continue
+		}
+		if err := s.fetchSegment(media.MediaType(task), videoSegs); err != nil {
+			return nil, err
+		}
+		s.maybeStart()
+	}
+	s.advancePlayback()
+	return &s.res, nil
+}
+
+// nextTask returns 0 for video, 1 for audio, -1 when done.
+func (s *liveSession) nextTask() int {
+	vDone := s.nextVideo >= len(s.pres.Video[0].Segments)
+	if len(s.pres.Audio) == 0 {
+		if vDone {
+			return -1
+		}
+		return int(media.TypeVideo)
+	}
+	aDone := s.nextAudio >= len(s.pres.Audio[0].Segments)
+	switch {
+	case vDone && aDone:
+		return -1
+	case vDone:
+		return int(media.TypeAudio)
+	case aDone:
+		return int(media.TypeVideo)
+	case s.bufAudioEnd < s.bufVideoEnd:
+		return int(media.TypeAudio)
+	default:
+		return int(media.TypeVideo)
+	}
+}
+
+func (s *liveSession) fetchSegment(t media.MediaType, videoSegs []manifest.Segment) error {
+	var rend *manifest.Rendition
+	var index int
+	if t == media.TypeAudio {
+		rend, index = s.pres.Audio[0], s.nextAudio
+	} else {
+		track := s.selectTrack()
+		rend, index = s.pres.Video[track], s.nextVideo
+		s.lastTrack = track
+	}
+	seg := rend.Segments[index]
+	segURL := seg.URL
+	rs, re := int64(-1), int64(-1)
+	if segURL == "" {
+		segURL = rend.MediaURL
+		rs, re = seg.Offset, seg.Offset+seg.Length-1
+	}
+	t0 := s.cfg.Now()
+	body, n, err := s.get(s.resolve(segURL), rs, re)
+	if err != nil {
+		return err
+	}
+	_ = body
+	took := s.cfg.Now().Sub(t0)
+	if t == media.TypeVideo {
+		s.cfg.Estimator.Add(float64(n)*8, took.Seconds())
+		s.nextVideo++
+		s.bufVideoEnd = seg.Start + seg.Duration
+	} else {
+		s.nextAudio++
+		s.bufAudioEnd = seg.Start + seg.Duration
+	}
+	s.res.Bytes += n
+	s.res.Downloads = append(s.res.Downloads, Download{Type: t, Track: rend.ID, Index: index, Bytes: n, Took: took})
+	return nil
+}
+
+func (s *liveSession) selectTrack() int {
+	var declared []float64
+	for _, r := range s.pres.Video {
+		declared = append(declared, r.DeclaredBitrate)
+	}
+	return s.cfg.Algorithm.Select(adaptation.Context{
+		Declared:        declared,
+		SegmentDuration: s.pres.Video[0].SegmentDuration,
+		SegmentCount:    len(s.pres.Video[0].Segments),
+		NextIndex:       s.nextVideo,
+		BufferSec:       s.occupancy(),
+		EstimateBps:     s.cfg.Estimator.Estimate(),
+		LastTrack:       s.lastTrack,
+		StartupTrack:    s.cfg.StartupTrack,
+	})
+}
+
+// playhead returns the media position in seconds.
+func (s *liveSession) playhead() float64 {
+	if !s.started {
+		return 0
+	}
+	return s.playedSoFar + s.cfg.Now().Sub(s.playBase).Seconds()
+}
+
+func (s *liveSession) bufferedEnd() float64 {
+	end := s.bufVideoEnd
+	if len(s.pres.Audio) > 0 && s.bufAudioEnd < end {
+		end = s.bufAudioEnd
+	}
+	return end
+}
+
+func (s *liveSession) occupancy() float64 {
+	occ := s.bufferedEnd() - s.playhead()
+	if occ < 0 {
+		return 0
+	}
+	return occ
+}
+
+// advancePlayback clamps the playhead to the buffered range, accounting
+// stalled wall time.
+func (s *liveSession) advancePlayback() {
+	if !s.started {
+		return
+	}
+	ph := s.playhead()
+	if end := s.bufferedEnd(); ph > end {
+		// Playback caught the buffer edge some wall time ago: everything
+		// past `end` was a stall. Sub-50 ms gaps are clock noise, not
+		// user-visible rebuffering.
+		stalled := time.Duration((ph - end) * float64(time.Second))
+		if stalled >= 50*time.Millisecond {
+			s.res.StallTime += stalled
+			s.res.Stalls++
+		}
+		s.playedSoFar = end
+		s.playBase = s.cfg.Now()
+		ph = end
+	}
+	s.res.PlayedMedia = ph
+}
+
+func (s *liveSession) maybeStart() {
+	if s.started {
+		return
+	}
+	segs := s.nextVideo
+	if len(s.pres.Audio) > 0 && s.nextAudio < segs {
+		segs = s.nextAudio
+	}
+	if s.bufferedEnd() >= s.cfg.StartupBufferSec && segs >= s.cfg.StartupSegments {
+		s.beginPlayback()
+	}
+}
+
+func (s *liveSession) beginPlayback() {
+	s.started = true
+	s.playBase = s.cfg.Now()
+	s.res.StartupDelay = s.cfg.Now().Sub(s.start)
+}
+
+// get fetches a URL (optionally ranged), records the exchange in the
+// traffic log, and returns body bytes and size.
+func (s *liveSession) get(u string, rs, re int64) ([]byte, int64, error) {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpplay: %w", err)
+	}
+	if rs >= 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", rs, re))
+	}
+	t0 := s.cfg.Now()
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpplay: GET %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, 0, fmt.Errorf("httpplay: GET %s: %s", u, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpplay: GET %s: %w", u, err)
+	}
+	t1 := s.cfg.Now()
+	tx := traffic.Transaction{
+		Start:  t0.Sub(s.logEpoch()).Seconds(),
+		End:    t1.Sub(s.logEpoch()).Seconds(),
+		Method: http.MethodGet,
+		URL:    pathOf(u),
+		Bytes:  int64(len(body)),
+	}
+	tx.RangeStart, tx.RangeEnd = rs, re
+	if rs < 0 {
+		tx.RangeStart, tx.RangeEnd = -1, -1
+	}
+	if isDocument(body) {
+		tx.Body = append([]byte(nil), body...)
+	}
+	s.res.Transactions = append(s.res.Transactions, tx)
+	return body, int64(len(body)), nil
+}
+
+// logEpoch anchors transaction timestamps; before run() starts it falls
+// back to the first observed instant.
+func (s *liveSession) logEpoch() time.Time {
+	if s.start.IsZero() {
+		s.start = s.cfg.Now()
+	}
+	return s.start
+}
+
+// pathOf strips scheme and host so the log matches the analyzer's
+// path-based lookups.
+func pathOf(u string) string {
+	if parsed, err := url.Parse(u); err == nil {
+		return parsed.Path
+	}
+	return u
+}
+
+// isDocument reports whether a body is manifest-level metadata (playlist,
+// MPD, Smooth manifest, or sidx box) that the analyzer needs verbatim.
+func isDocument(body []byte) bool {
+	if len(body) >= 8 && string(body[4:8]) == "sidx" {
+		return true
+	}
+	head := body
+	if len(head) > 512 {
+		head = head[:512]
+	}
+	s := string(head)
+	return strings.HasPrefix(strings.TrimSpace(s), "#EXTM3U") ||
+		strings.Contains(s, "<MPD") || strings.Contains(s, "<?xml") ||
+		strings.Contains(s, "<SmoothStreamingMedia")
+}
+
+// resolve makes a presentation-relative URL absolute.
+func (s *liveSession) resolve(ref string) string {
+	u, err := s.base.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return u.String()
+}
+
+func lastElement(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

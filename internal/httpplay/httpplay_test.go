@@ -1,0 +1,236 @@
+package httpplay
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/adaptation"
+	"repro/internal/manifest"
+	"repro/internal/media"
+	"repro/internal/origin"
+	"repro/internal/traffic"
+)
+
+func serveClip(t *testing.T, proto manifest.Protocol, addr manifest.Addressing, separateAudio bool) (*httptest.Server, *origin.Origin) {
+	t.Helper()
+	v, err := media.Generate(media.Config{
+		Name: "clip", Duration: 6, SegmentDuration: 2,
+		TargetBitrates: []float64{200e3, 400e3, 800e3},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclarePeak,
+		SeparateAudio: separateAudio, AudioSegmentDuration: 2,
+		Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	org, err := origin.New(manifest.Build(v, manifest.BuildOptions{Protocol: proto, Addressing: addr}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(org)
+	t.Cleanup(srv.Close)
+	return srv, org
+}
+
+// fastClock compresses wall time so the live loop finishes instantly in
+// tests while keeping the playback arithmetic intact.
+type fastClock struct{ now time.Time }
+
+func (c *fastClock) Now() time.Time        { return c.now }
+func (c *fastClock) Sleep(d time.Duration) { c.now = c.now.Add(d) }
+
+func playClip(t *testing.T, proto manifest.Protocol, addr manifest.Addressing, separateAudio bool) *Result {
+	t.Helper()
+	srv, org := serveClip(t, proto, addr, separateAudio)
+	clock := &fastClock{now: time.Unix(0, 0)}
+	res, err := Play(Config{
+		ManifestURL:        srv.URL + org.Pres.ManifestURL(),
+		Algorithm:          adaptation.Throughput{Factor: 0.75},
+		StartupBufferSec:   2,
+		PauseThresholdSec:  10,
+		ResumeThresholdSec: 5,
+		MaxDuration:        time.Minute,
+		Now:                func() time.Time { return clock.now },
+		Sleep:              clock.Sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPlayDASH(t *testing.T) {
+	res := playClip(t, manifest.DASH, manifest.SidxRanges, true)
+	if res.PlayedMedia < 5.9 {
+		t.Fatalf("played %.1f s of a 6 s clip", res.PlayedMedia)
+	}
+	vid, aud := 0, 0
+	for _, d := range res.Downloads {
+		if d.Type == media.TypeVideo {
+			vid++
+		} else {
+			aud++
+		}
+	}
+	if vid != 3 || aud != 3 {
+		t.Fatalf("downloaded %d video + %d audio segments", vid, aud)
+	}
+	if res.StartupDelay < 0 {
+		t.Fatal("never started")
+	}
+}
+
+func TestPlayHLS(t *testing.T) {
+	res := playClip(t, manifest.HLS, 0, false)
+	if res.PlayedMedia < 5.9 {
+		t.Fatalf("played %.1f s", res.PlayedMedia)
+	}
+	if len(res.Downloads) != 3 {
+		t.Fatalf("%d downloads", len(res.Downloads))
+	}
+}
+
+func TestPlaySmooth(t *testing.T) {
+	res := playClip(t, manifest.Smooth, 0, true)
+	if res.PlayedMedia < 5.9 {
+		t.Fatalf("played %.1f s", res.PlayedMedia)
+	}
+	if res.Presentation.Protocol != manifest.Smooth {
+		t.Fatal("wrong protocol decoded")
+	}
+}
+
+// TestPlayAdaptsUp runs in real time over a shaped link (a fake clock
+// would make transfers instantaneous and starve the estimator), using a
+// sub-2-second clip so the test stays fast.
+func TestPlayAdaptsUp(t *testing.T) {
+	v, err := media.Generate(media.Config{
+		Name: "mini", Duration: 1.6, SegmentDuration: 0.4,
+		TargetBitrates: []float64{200e3, 400e3, 800e3},
+		Encoding:       media.CBR, DeclaredPolicy: media.DeclarePeak,
+		Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	org, err := origin.New(manifest.Build(v, manifest.BuildOptions{
+		Protocol: manifest.DASH, Addressing: manifest.SidxRanges,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(org)
+	defer srv.Close()
+	client := &http.Client{Transport: NewShaper(http.DefaultTransport, 5e6)}
+	res, err := Play(Config{
+		ManifestURL:        srv.URL + org.Pres.ManifestURL(),
+		Client:             client,
+		Algorithm:          adaptation.Throughput{Factor: 0.75},
+		StartupBufferSec:   0.4,
+		PauseThresholdSec:  10,
+		ResumeThresholdSec: 5,
+		MaxDuration:        20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Downloads[len(res.Downloads)-1]
+	if last.Track == 0 {
+		t.Fatalf("never adapted above the bottom track: %+v", res.Downloads)
+	}
+}
+
+func TestPlayBadManifestURL(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	if _, err := Play(Config{ManifestURL: srv.URL + "/x"}); err == nil {
+		t.Fatal("expected error for missing manifest")
+	}
+}
+
+func TestShaperLimitsThroughput(t *testing.T) {
+	payload := make([]byte, 100<<10) // 100 KiB
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+	shaper := NewShaper(http.DefaultTransport, 4e6) // 4 Mbit/s → 100 KiB ≈ 205 ms
+	client := &http.Client{Transport: shaper}
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	buf := make([]byte, 32<<10)
+	for {
+		m, err := resp.Body.Read(buf)
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	took := time.Since(start)
+	if n != len(payload) {
+		t.Fatalf("read %d bytes", n)
+	}
+	if took < 120*time.Millisecond {
+		t.Fatalf("shaper too permissive: %v for 100 KiB at 4 Mbit/s", took)
+	}
+	if took > 2*time.Second {
+		t.Fatalf("shaper too slow: %v", took)
+	}
+}
+
+// TestMethodologyOverRealHTTP closes the paper's loop over real sockets:
+// the live session's HTTP log feeds the traffic analyzer, which must
+// recover exactly the segments the player fetched.
+func TestMethodologyOverRealHTTP(t *testing.T) {
+	for _, proto := range []manifest.Protocol{manifest.HLS, manifest.DASH, manifest.Smooth} {
+		res := playClip(t, proto, manifest.SidxRanges, proto != manifest.HLS)
+		tr, err := traffic.Analyze("clip", res.Transactions)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if len(tr.Unmatched) != 0 {
+			t.Fatalf("%v: %d unmatched transactions", proto, len(tr.Unmatched))
+		}
+		if len(tr.Segments) != len(res.Downloads) {
+			t.Fatalf("%v: analyzer saw %d segments, player fetched %d", proto, len(tr.Segments), len(res.Downloads))
+		}
+		for i, s := range tr.Segments {
+			if s.Bytes <= 0 {
+				t.Fatalf("%v: segment %d has no bytes", proto, i)
+			}
+		}
+	}
+}
+
+// TestShaperLowRateLargeRead: a read bigger than the token burst must not
+// deadlock (regression for the strict-bucket pitfall).
+func TestShaperLowRateLargeRead(t *testing.T) {
+	payload := make([]byte, 48<<10)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: NewShaper(http.DefaultTransport, 1e6)} // burst 12.5 KiB < 16 KiB chunks
+	done := make(chan struct{})
+	go func() {
+		resp, err := client.Get(srv.URL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shaper deadlocked on a read larger than its burst")
+	}
+}

@@ -1,0 +1,94 @@
+package httpplay
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Shaper is an http.RoundTripper that rate-limits response bodies with a
+// token bucket — the wall-clock equivalent of the paper's tc shaping.
+// All connections through one Shaper share the same bucket, like flows
+// sharing a cellular link.
+type Shaper struct {
+	// Transport performs the real exchange (nil = default transport).
+	Transport http.RoundTripper
+
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // bucket depth in bytes
+	tokens float64
+	last   time.Time
+}
+
+// NewShaper limits aggregate response throughput to bitsPerSec.
+func NewShaper(transport http.RoundTripper, bitsPerSec float64) *Shaper {
+	return &Shaper{
+		Transport: transport,
+		rate:      bitsPerSec / 8,
+		burst:     bitsPerSec / 8 / 10, // 100 ms of burst
+		last:      time.Now(),
+	}
+}
+
+// SetRate changes the limit (bits/s); safe to call while streaming.
+func (s *Shaper) SetRate(bitsPerSec float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rate = bitsPerSec / 8
+	s.burst = bitsPerSec / 8 / 10
+}
+
+// RoundTrip implements http.RoundTripper.
+func (s *Shaper) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt := s.Transport
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = &shapedBody{shaper: s, inner: resp.Body}
+	return resp, nil
+}
+
+// take charges n bytes against the bucket and sleeps off any debt. The
+// debt model (bucket may go negative) admits reads larger than the burst,
+// which a strict bucket would deadlock on at low rates.
+func (s *Shaper) take(n int) {
+	s.mu.Lock()
+	now := time.Now()
+	s.tokens += now.Sub(s.last).Seconds() * s.rate
+	s.last = now
+	if s.tokens > s.burst {
+		s.tokens = s.burst
+	}
+	s.tokens -= float64(n)
+	debt := -s.tokens
+	rate := s.rate
+	s.mu.Unlock()
+	if debt > 0 && rate > 0 {
+		time.Sleep(time.Duration(debt / rate * float64(time.Second)))
+	}
+}
+
+type shapedBody struct {
+	shaper *Shaper
+	inner  io.ReadCloser
+}
+
+func (b *shapedBody) Read(p []byte) (int, error) {
+	const chunk = 16 << 10
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	n, err := b.inner.Read(p)
+	if n > 0 {
+		b.shaper.take(n)
+	}
+	return n, err
+}
+
+func (b *shapedBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,162 @@
+package live
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/manifest/hls"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/simnet"
+)
+
+func channel(t *testing.T) *Origin {
+	t.Helper()
+	v, err := media.Generate(media.Config{
+		Name: "live", Duration: 600, SegmentDuration: 4,
+		TargetBitrates: []float64{250e3, 500e3, 1e6},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclarePeak,
+		Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewOrigin(v)
+}
+
+func TestAvailability(t *testing.T) {
+	o := channel(t)
+	if got := o.AvailableSegments(0); got != 0 {
+		t.Fatalf("at t=0: %d segments", got)
+	}
+	// Segment 0 covers media 0–4 and appears after the 1 s encode delay.
+	if got := o.AvailableSegments(4.9); got != 0 {
+		t.Fatalf("at t=4.9: %d segments", got)
+	}
+	if got := o.AvailableSegments(5.1); got != 1 {
+		t.Fatalf("at t=5.1: %d segments", got)
+	}
+	if got := o.AvailableSegments(45); got != 11 {
+		t.Fatalf("at t=45: %d segments", got)
+	}
+	if !o.Ended(606) {
+		t.Fatal("event should have ended")
+	}
+}
+
+func TestSlidingWindowPlaylist(t *testing.T) {
+	o := channel(t)
+	body, first, count := o.PlaylistAt(1, 60)
+	// 14 segments available (see above), window of 6 → first = 8.
+	if first != 8 || count != 6 {
+		t.Fatalf("window [%d,+%d)", first, count)
+	}
+	pl, err := hls.ParseMediaPlaylist(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.MediaSequence != 8 || len(pl.Segments) != 6 {
+		t.Fatalf("parsed seq %d, %d segments", pl.MediaSequence, len(pl.Segments))
+	}
+	if pl.Ended {
+		t.Fatal("live playlist must not carry ENDLIST")
+	}
+	if !strings.Contains(pl.Segments[0].URI, "seg00008") {
+		t.Fatalf("first URI %q", pl.Segments[0].URI)
+	}
+	// After the event: ENDLIST present.
+	body, _, _ = o.PlaylistAt(1, 1e4)
+	pl, err = hls.ParseMediaPlaylist(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Ended {
+		t.Fatal("finished event should carry ENDLIST")
+	}
+}
+
+func TestLiveSessionTracksEdge(t *testing.T) {
+	o := channel(t)
+	net := simnet.New(simnet.DefaultConfig(), netem.Constant("c", 8e6, 1000))
+	res, err := Play(Config{JoinAt: 60, SessionDuration: 200, StartupTrack: 1}, o, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalls != 0 {
+		t.Fatalf("stalled %d times on a fat link", res.Stalls)
+	}
+	// Latency stays near the initial edge distance (3 segments ≈ 12 s +
+	// encode delay), and does not grow.
+	if res.InitialLatency < 4 || res.InitialLatency > 20 {
+		t.Fatalf("initial latency %.1f s", res.InitialLatency)
+	}
+	if res.FinalLatency > res.InitialLatency+o.Video.SegmentDuration+1 {
+		t.Fatalf("latency grew: %.1f → %.1f s without stalls", res.InitialLatency, res.FinalLatency)
+	}
+	// The client must have polled the playlist while waiting at the edge.
+	if res.PlaylistReloads < 10 {
+		t.Fatalf("only %d playlist reloads", res.PlaylistReloads)
+	}
+	if res.SegmentsPlayed < 40 {
+		t.Fatalf("played %d segments in 200 s", res.SegmentsPlayed)
+	}
+}
+
+func TestLiveStallsWidenLatency(t *testing.T) {
+	o := channel(t)
+	// Link dips far below the lowest track for a while: playback stalls
+	// and the stream falls permanently behind the edge.
+	p := netem.Step("dip", 8e6, 60e3, 100, 1000)
+	net := simnet.New(simnet.DefaultConfig(), p)
+	res, err := Play(Config{JoinAt: 60, SessionDuration: 120, StartupTrack: 0}, o, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallSec < 5 {
+		t.Fatalf("expected stalls through the dip, got %.1f s", res.StallSec)
+	}
+	if res.FinalLatency < res.InitialLatency+res.StallSec-o.Video.SegmentDuration {
+		t.Fatalf("stalls (%.1f s) did not widen latency: %.1f → %.1f",
+			res.StallSec, res.InitialLatency, res.FinalLatency)
+	}
+}
+
+func TestLiveAdaptsUp(t *testing.T) {
+	o := channel(t)
+	net := simnet.New(simnet.DefaultConfig(), netem.Constant("c", 8e6, 1000))
+	res, err := Play(Config{JoinAt: 60, SessionDuration: 200, StartupTrack: 0}, o, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := o.Pres.Video[len(o.Pres.Video)-1].DeclaredBitrate
+	if res.AvgBitrate < 0.5*top {
+		t.Fatalf("avg bitrate %.0f on a fat link (top %.0f)", res.AvgBitrate, top)
+	}
+	if res.Switches == 0 {
+		t.Fatal("never switched up from the bottom startup track")
+	}
+}
+
+func TestLiveJoinTooEarly(t *testing.T) {
+	o := channel(t)
+	net := simnet.New(simnet.DefaultConfig(), netem.Constant("c", 8e6, 100))
+	if _, err := Play(Config{JoinAt: 1, SessionDuration: 30}, o, net); err == nil {
+		t.Fatal("joining before the first segment should fail")
+	}
+}
+
+func TestLiveLatencyAccounting(t *testing.T) {
+	o := channel(t)
+	net := simnet.New(simnet.DefaultConfig(), netem.Constant("c", 8e6, 1000))
+	res, err := Play(Config{JoinAt: 100, SessionDuration: 150}, o, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.MeanLatency) || res.MeanLatency <= 0 {
+		t.Fatalf("mean latency %.2f", res.MeanLatency)
+	}
+	if res.MeanLatency < res.InitialLatency-2 || res.MeanLatency > res.FinalLatency+2 {
+		t.Fatalf("mean latency %.1f outside [%.1f, %.1f]", res.MeanLatency, res.InitialLatency, res.FinalLatency)
+	}
+}

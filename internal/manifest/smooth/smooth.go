@@ -1,0 +1,136 @@
+// Package smooth encodes and parses Microsoft SmoothStreaming client
+// manifests (the wire format of services S1–S2). Fragment URLs follow the
+// conventional QualityLevels({bitrate})/Fragments({type}={start}) template
+// with start times in 100 ns units.
+package smooth
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"repro/internal/manifest"
+	"repro/internal/media"
+)
+
+type xmlSmoothStreamingMedia struct {
+	XMLName       xml.Name         `xml:"SmoothStreamingMedia"`
+	MajorVersion  int              `xml:"MajorVersion,attr"`
+	MinorVersion  int              `xml:"MinorVersion,attr"`
+	Duration      uint64           `xml:"Duration,attr"`
+	TimeScale     uint64           `xml:"TimeScale,attr"`
+	StreamIndexes []xmlStreamIndex `xml:"StreamIndex"`
+}
+
+type xmlStreamIndex struct {
+	Type          string            `xml:"Type,attr"`
+	Chunks        int               `xml:"Chunks,attr"`
+	URL           string            `xml:"Url,attr"`
+	QualityLevels []xmlQualityLevel `xml:"QualityLevel"`
+	Cs            []xmlChunk        `xml:"c"`
+}
+
+type xmlQualityLevel struct {
+	Index     int    `xml:"Index,attr"`
+	Bitrate   int64  `xml:"Bitrate,attr"`
+	MaxWidth  int    `xml:"MaxWidth,attr,omitempty"`
+	MaxHeight int    `xml:"MaxHeight,attr,omitempty"`
+	FourCC    string `xml:"FourCC,attr,omitempty"`
+}
+
+type xmlChunk struct {
+	D uint64 `xml:"d,attr"`
+}
+
+// Encode renders the SmoothStreaming manifest for a presentation.
+func Encode(p *manifest.Presentation) ([]byte, error) {
+	doc := xmlSmoothStreamingMedia{
+		MajorVersion: 2,
+		TimeScale:    uint64(manifest.SmoothTimescale),
+		Duration:     uint64(p.Duration * manifest.SmoothTimescale),
+	}
+	addStream := func(kind string, rs []*manifest.Rendition) {
+		if len(rs) == 0 {
+			return
+		}
+		si := xmlStreamIndex{
+			Type:   kind,
+			Chunks: len(rs[0].Segments),
+			URL:    fmt.Sprintf("QualityLevels({bitrate})/Fragments(%s={start time})", kind),
+		}
+		for i, r := range rs {
+			ql := xmlQualityLevel{Index: i, Bitrate: int64(r.DeclaredBitrate), MaxWidth: r.Width, MaxHeight: r.Height}
+			if kind == "video" {
+				ql.FourCC = "H264"
+			} else {
+				ql.FourCC = "AACL"
+			}
+			si.QualityLevels = append(si.QualityLevels, ql)
+		}
+		for _, s := range rs[0].Segments {
+			si.Cs = append(si.Cs, xmlChunk{D: uint64(s.Duration*manifest.SmoothTimescale + 0.5)})
+		}
+		doc.StreamIndexes = append(doc.StreamIndexes, si)
+	}
+	addStream("video", p.Video)
+	addStream("audio", p.Audio)
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// Decode reconstructs a Presentation from a SmoothStreaming manifest.
+// Segment sizes are unknown to the client before download (the paper
+// issued HEAD requests to learn them); Size is left 0.
+func Decode(name string, body []byte) (*manifest.Presentation, error) {
+	var doc xmlSmoothStreamingMedia
+	if err := xml.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("smooth: %w", err)
+	}
+	ts := float64(doc.TimeScale)
+	if ts == 0 {
+		ts = manifest.SmoothTimescale
+	}
+	p := &manifest.Presentation{
+		Name:       name,
+		Protocol:   manifest.Smooth,
+		Addressing: manifest.TemplateURLs,
+		Duration:   float64(doc.Duration) / ts,
+	}
+	for _, si := range doc.StreamIndexes {
+		kind := media.TypeVideo
+		if strings.EqualFold(si.Type, "audio") {
+			kind = media.TypeAudio
+		}
+		for i, ql := range si.QualityLevels {
+			r := &manifest.Rendition{
+				ID:              i,
+				Type:            kind,
+				DeclaredBitrate: float64(ql.Bitrate),
+				Width:           ql.MaxWidth,
+				Height:          ql.MaxHeight,
+			}
+			start := 0.0
+			for _, c := range si.Cs {
+				d := float64(c.D) / ts
+				r.Segments = append(r.Segments, manifest.Segment{
+					URL:      manifest.SmoothFragmentURL(name, strings.ToLower(si.Type), float64(ql.Bitrate), start),
+					Duration: d,
+					Start:    start,
+				})
+				start += d
+				if d > r.SegmentDuration {
+					r.SegmentDuration = d
+				}
+			}
+			if kind == media.TypeAudio {
+				p.Audio = append(p.Audio, r)
+			} else {
+				p.Video = append(p.Video, r)
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,80 @@
+package smooth
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/manifest"
+	"repro/internal/media"
+)
+
+func buildPresentation(t *testing.T) *manifest.Presentation {
+	t.Helper()
+	v, err := media.Generate(media.Config{
+		Name: "s", Duration: 30, SegmentDuration: 2,
+		TargetBitrates: []float64{400e3, 800e3, 1.6e6},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclareAverage,
+		SeparateAudio: true, AudioSegmentDuration: 2,
+		Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return manifest.Build(v, manifest.BuildOptions{Protocol: manifest.Smooth})
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := buildPresentation(t)
+	body, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode("s", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Video) != len(p.Video) || len(q.Audio) != 1 {
+		t.Fatalf("renditions %d/%d", len(q.Video), len(q.Audio))
+	}
+	if math.Abs(q.Duration-p.Duration) > 1e-3 {
+		t.Errorf("duration %v vs %v", q.Duration, p.Duration)
+	}
+	for i, r := range q.Video {
+		want := p.Video[i]
+		if r.DeclaredBitrate != math.Trunc(want.DeclaredBitrate) {
+			t.Errorf("track %d declared %v vs %v", i, r.DeclaredBitrate, want.DeclaredBitrate)
+		}
+		if len(r.Segments) != len(want.Segments) {
+			t.Fatalf("track %d: %d segments vs %d", i, len(r.Segments), len(want.Segments))
+		}
+		for j := range r.Segments {
+			if r.Segments[j].URL != want.Segments[j].URL {
+				t.Fatalf("track %d seg %d URL %q vs %q", i, j, r.Segments[j].URL, want.Segments[j].URL)
+			}
+			if math.Abs(r.Segments[j].Start-want.Segments[j].Start) > 1e-6 {
+				t.Fatalf("track %d seg %d start %v vs %v", i, j, r.Segments[j].Start, want.Segments[j].Start)
+			}
+		}
+	}
+}
+
+func TestEncodeShape(t *testing.T) {
+	p := buildPresentation(t)
+	body, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+	for _, want := range []string{"<SmoothStreamingMedia", "StreamIndex", "QualityLevel", "<c ", "Fragments(video={start time})"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("manifest missing %q", want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode("s", []byte("garbage")); err == nil {
+		t.Error("accepted garbage")
+	}
+}

@@ -1,0 +1,78 @@
+// Package modify implements the paper's black-box manipulation tools
+// (§2.2): manifest modification — shifting the mapping between declared
+// bitrates and media (Figure 12) or dropping tracks — and request
+// rejection after the first N segments (the startup-buffer probe of
+// §3.3.1). The modified manifests are re-encoded and served by a normal
+// origin, exactly as the paper's proxy presented doctored manifests to
+// unmodified apps.
+package modify
+
+import (
+	"repro/internal/manifest"
+	"repro/internal/player"
+)
+
+// ShiftVariants builds Figure 12's "variant 1": each track keeps its
+// declared bitrate but points at the media of the next lower quality
+// level. The lowest rung has no lower media, so the result has one fewer
+// track: declared bitrates 1..n-1 paired with media 0..n-2.
+func ShiftVariants(p *manifest.Presentation) *manifest.Presentation {
+	cp := clone(p)
+	n := len(cp.Video)
+	if n < 2 {
+		return cp
+	}
+	out := make([]*manifest.Rendition, 0, n-1)
+	for i := 1; i < n; i++ {
+		r := *cp.Video[i-1] // media (URLs, sizes, resolution) of the lower track
+		r.DeclaredBitrate = cp.Video[i].DeclaredBitrate
+		r.AverageBitrate = cp.Video[i].AverageBitrate
+		r.ID = i - 1
+		out = append(out, &r)
+	}
+	cp.Video = out
+	return cp
+}
+
+// DropLowest builds Figure 12's "variant 2": the lowest track is removed
+// and the rest are unchanged, so both variants expose the same declared
+// ladder while variant 1's actual bitrates are one rung lower.
+func DropLowest(p *manifest.Presentation) *manifest.Presentation {
+	cp := clone(p)
+	if len(cp.Video) < 2 {
+		return cp
+	}
+	cp.Video = cp.Video[1:]
+	for i, r := range cp.Video {
+		r.ID = i
+	}
+	return cp
+}
+
+// clone deep-copies a presentation's rendition lists (segments are copied
+// so callers can edit them safely).
+func clone(p *manifest.Presentation) *manifest.Presentation {
+	cp := *p
+	dup := func(rs []*manifest.Rendition) []*manifest.Rendition {
+		out := make([]*manifest.Rendition, len(rs))
+		for i, r := range rs {
+			rr := *r
+			rr.Segments = append([]manifest.Segment(nil), r.Segments...)
+			out[i] = &rr
+		}
+		return out
+	}
+	cp.Video = dup(p.Video)
+	cp.Audio = dup(p.Audio)
+	return &cp
+}
+
+// RejectAfter returns a request gate that admits only the first n media
+// segment requests — the paper's probe for the startup buffer duration:
+// "we instrument the proxy to reject all segment requests after the
+// first n segments" (§3.3.1).
+func RejectAfter(n int) func(player.Request) bool {
+	return func(r player.Request) bool {
+		return r.SegmentSeq < n
+	}
+}

@@ -1,0 +1,106 @@
+package modify
+
+import (
+	"testing"
+
+	"repro/internal/manifest"
+	"repro/internal/media"
+	"repro/internal/player"
+)
+
+func buildPresentation(t *testing.T) *manifest.Presentation {
+	t.Helper()
+	v, err := media.Generate(media.Config{
+		Name: "m", Duration: 60, SegmentDuration: 4,
+		TargetBitrates: []float64{200e3, 400e3, 800e3, 1.6e6},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclarePeak,
+		Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return manifest.Build(v, manifest.BuildOptions{Protocol: manifest.DASH, Addressing: manifest.SidxRanges})
+}
+
+func TestShiftVariants(t *testing.T) {
+	p := buildPresentation(t)
+	s := ShiftVariants(p)
+	if len(s.Video) != len(p.Video)-1 {
+		t.Fatalf("shifted has %d tracks, want %d", len(s.Video), len(p.Video)-1)
+	}
+	for i, r := range s.Video {
+		// Declared from rung i+1, media (URL/sizes) from rung i.
+		if r.DeclaredBitrate != p.Video[i+1].DeclaredBitrate {
+			t.Errorf("track %d declared %v", i, r.DeclaredBitrate)
+		}
+		if r.MediaURL != p.Video[i].MediaURL {
+			t.Errorf("track %d media URL %q, want lower rung's", i, r.MediaURL)
+		}
+		if r.Segments[0].Size != p.Video[i].Segments[0].Size {
+			t.Errorf("track %d sizes not from lower rung", i)
+		}
+		if r.ID != i {
+			t.Errorf("track %d has ID %d", i, r.ID)
+		}
+	}
+	// The original is untouched.
+	if p.Video[0].ID != 0 || len(p.Video) != 4 {
+		t.Fatal("ShiftVariants mutated its input")
+	}
+}
+
+func TestDropLowest(t *testing.T) {
+	p := buildPresentation(t)
+	d := DropLowest(p)
+	if len(d.Video) != len(p.Video)-1 {
+		t.Fatalf("dropped has %d tracks", len(d.Video))
+	}
+	for i, r := range d.Video {
+		if r.DeclaredBitrate != p.Video[i+1].DeclaredBitrate {
+			t.Errorf("track %d declared %v", i, r.DeclaredBitrate)
+		}
+		if r.MediaURL != p.Video[i+1].MediaURL {
+			t.Errorf("track %d media URL %q", i, r.MediaURL)
+		}
+	}
+}
+
+// TestVariantsPairUp: the Figure 12 construction — variant 1 and 2 expose
+// the same declared ladder, but variant 1's actual sizes sit one rung
+// lower.
+func TestVariantsPairUp(t *testing.T) {
+	p := buildPresentation(t)
+	v1, v2 := ShiftVariants(p), DropLowest(p)
+	if len(v1.Video) != len(v2.Video) {
+		t.Fatal("variant track counts differ")
+	}
+	for i := range v1.Video {
+		if v1.Video[i].DeclaredBitrate != v2.Video[i].DeclaredBitrate {
+			t.Fatalf("level %d declared differs", i)
+		}
+		if v1.Video[i].Segments[0].Size >= v2.Video[i].Segments[0].Size {
+			t.Fatalf("level %d: variant 1 should carry smaller media", i)
+		}
+	}
+}
+
+func TestRejectAfter(t *testing.T) {
+	gate := RejectAfter(3)
+	for seq := 0; seq < 5; seq++ {
+		got := gate(player.Request{IsSegment: true, SegmentSeq: seq})
+		if want := seq < 3; got != want {
+			t.Errorf("seq %d: gate = %v", seq, got)
+		}
+	}
+}
+
+func TestShiftSingleTrackNoop(t *testing.T) {
+	p := buildPresentation(t)
+	p.Video = p.Video[:1]
+	if got := ShiftVariants(p); len(got.Video) != 1 {
+		t.Fatal("single-track shift should be a no-op")
+	}
+	if got := DropLowest(p); len(got.Video) != 1 {
+		t.Fatal("single-track drop should be a no-op")
+	}
+}

@@ -1,0 +1,197 @@
+package origin
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/manifest"
+	"repro/internal/manifest/sidx"
+	"repro/internal/media"
+)
+
+func build(t *testing.T, proto manifest.Protocol, addr manifest.Addressing) *Origin {
+	t.Helper()
+	v, err := media.Generate(media.Config{
+		Name: "o", Duration: 20, SegmentDuration: 4,
+		TargetBitrates: []float64{300e3, 600e3},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclarePeak,
+		SeparateAudio: proto != manifest.HLS, AudioSegmentDuration: 2,
+		Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	org, err := New(manifest.Build(v, manifest.BuildOptions{Protocol: proto, Addressing: addr}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return org
+}
+
+func TestDocumentLookups(t *testing.T) {
+	org := build(t, manifest.HLS, 0)
+	if _, ok := org.Document("/o/master.m3u8"); !ok {
+		t.Fatal("master playlist missing")
+	}
+	if _, ok := org.Document(org.Pres.Video[0].PlaylistURL); !ok {
+		t.Fatal("media playlist missing")
+	}
+	if _, ok := org.Document("/nope"); ok {
+		t.Fatal("bogus document found")
+	}
+	dash := build(t, manifest.DASH, manifest.SidxRanges)
+	if _, ok := dash.Document("/o/manifest.mpd"); !ok {
+		t.Fatal("MPD missing")
+	}
+	if _, ok := dash.Sidx(dash.Pres.Video[0].MediaURL); !ok {
+		t.Fatal("sidx missing")
+	}
+}
+
+func TestServeHTTPDocumentsAndSegments(t *testing.T) {
+	org := build(t, manifest.HLS, 0)
+	srv := httptest.NewServer(org)
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/o/master.m3u8", "")
+	if !strings.HasPrefix(string(body), "#EXTM3U") {
+		t.Fatalf("master body %q...", body[:10])
+	}
+	seg := org.Pres.Video[1].Segments[2]
+	payload := get(t, srv.URL+seg.URL, "")
+	if int64(len(payload)) != seg.Size {
+		t.Fatalf("segment body %d bytes, want %d", len(payload), seg.Size)
+	}
+	// 404 for unknown paths.
+	resp, err := http.Get(srv.URL + "/o/unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", resp.StatusCode)
+	}
+}
+
+func TestServeHTTPRangesAndSidx(t *testing.T) {
+	org := build(t, manifest.DASH, manifest.SidxRanges)
+	srv := httptest.NewServer(org)
+	defer srv.Close()
+
+	r := org.Pres.Video[0]
+	// Ranged request for the sidx region must decode.
+	rangeHdr := fmt.Sprintf("bytes=%d-%d", r.IndexOffset, r.IndexOffset+r.IndexLength-1)
+	body := get(t, srv.URL+r.MediaURL, rangeHdr)
+	box, err := sidx.Decode(body)
+	if err != nil {
+		t.Fatalf("sidx over HTTP: %v", err)
+	}
+	if len(box.References) != len(r.Segments) {
+		t.Fatalf("sidx has %d refs, want %d", len(box.References), len(r.Segments))
+	}
+	// Ranged request for one segment returns exactly its bytes.
+	seg := r.Segments[1]
+	body = get(t, srv.URL+r.MediaURL, fmt.Sprintf("bytes=%d-%d", seg.Offset, seg.Offset+seg.Length-1))
+	if int64(len(body)) != seg.Length {
+		t.Fatalf("segment range %d bytes, want %d", len(body), seg.Length)
+	}
+	// HEAD reports the full virtual size (the paper used HEAD to learn
+	// segment sizes for HLS/Smooth).
+	req, _ := http.NewRequest(http.MethodHead, srv.URL+r.MediaURL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	last := r.Segments[len(r.Segments)-1]
+	if want := last.Offset + last.Length; resp.ContentLength != want {
+		t.Fatalf("HEAD length %d, want %d", resp.ContentLength, want)
+	}
+}
+
+func TestVirtualFileDeterministic(t *testing.T) {
+	org := build(t, manifest.DASH, manifest.SidxRanges)
+	srv := httptest.NewServer(org)
+	defer srv.Close()
+	r := org.Pres.Video[0]
+	h := fmt.Sprintf("bytes=%d-%d", r.Segments[0].Offset, r.Segments[0].Offset+99)
+	a := get(t, srv.URL+r.MediaURL, h)
+	b := get(t, srv.URL+r.MediaURL, h)
+	if string(a) != string(b) {
+		t.Fatal("virtual file content not deterministic")
+	}
+}
+
+func TestSmoothServing(t *testing.T) {
+	org := build(t, manifest.Smooth, 0)
+	srv := httptest.NewServer(org)
+	defer srv.Close()
+	body := get(t, srv.URL+"/o/Manifest", "")
+	if !strings.Contains(string(body), "<SmoothStreamingMedia") {
+		t.Fatal("manifest body wrong")
+	}
+	seg := org.Pres.Video[0].Segments[0]
+	payload := get(t, srv.URL+seg.URL, "")
+	if int64(len(payload)) != seg.Size {
+		t.Fatalf("fragment %d bytes, want %d", len(payload), seg.Size)
+	}
+}
+
+func get(t *testing.T, url, rangeHdr string) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rangeHdr != "" {
+		req.Header.Set("Range", rangeHdr)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestObfuscatedManifest(t *testing.T) {
+	v, err := media.Generate(media.Config{
+		Name: "enc", Duration: 20, SegmentDuration: 4,
+		TargetBitrates: []float64{300e3}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres := manifest.Build(v, manifest.BuildOptions{Protocol: manifest.DASH, Addressing: manifest.SidxRanges})
+	plain, err := New(pres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewWithOptions(pres, Options{ObfuscateManifest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := plain.Document(pres.ManifestURL())
+	eb, _ := enc.Document(pres.ManifestURL())
+	if len(pb) != len(eb) {
+		t.Fatalf("obfuscation changed length %d → %d", len(pb), len(eb))
+	}
+	if strings.Contains(string(eb), "<MPD") {
+		t.Fatal("obfuscated MPD still sniffable")
+	}
+	// The sidx stays readable.
+	if _, ok := enc.Sidx(pres.Video[0].MediaURL); !ok {
+		t.Fatal("sidx missing under obfuscation")
+	}
+}

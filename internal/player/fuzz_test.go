@@ -1,0 +1,169 @@
+package player
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adaptation"
+	"repro/internal/manifest"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/origin"
+	"repro/internal/replacement"
+	"repro/internal/simnet"
+)
+
+// TestQuickSessionInvariants fuzzes the whole engine: random content,
+// random player configuration (scheduler, thresholds, replacement,
+// algorithm, seeks) over random traces — every combination must terminate
+// and satisfy the structural invariants.
+func TestQuickSessionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Random content.
+		nTracks := rng.Intn(4) + 2
+		ladder := make([]float64, nTracks)
+		b := 150e3 * (1 + rng.Float64())
+		for i := range ladder {
+			ladder[i] = b
+			b *= 1.5 + 0.5*rng.Float64()
+		}
+		mcfg := media.Config{
+			Name: "f", Duration: 300, SegmentDuration: float64(rng.Intn(8) + 2),
+			TargetBitrates: ladder,
+			VBRSpread:      1.3 + rng.Float64(),
+			Seed:           seed,
+		}
+		if rng.Intn(2) == 0 {
+			mcfg.Encoding = media.VBR
+		}
+		addr := manifest.SidxRanges
+		switch rng.Intn(3) {
+		case 1:
+			addr = manifest.RangesInManifest
+		case 2:
+			addr = manifest.TemplateNumber
+		}
+		sep := rng.Intn(2) == 0
+		if sep {
+			mcfg.SeparateAudio = true
+			mcfg.AudioSegmentDuration = float64(rng.Intn(4) + 1)
+		}
+		v, err := media.Generate(mcfg)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		org, err := origin.New(manifest.Build(v, manifest.BuildOptions{Protocol: manifest.DASH, Addressing: addr}))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+
+		// Random player.
+		pause := 15 + rng.Float64()*100
+		cfg := Config{
+			Name:               "fuzz",
+			SessionDuration:    120,
+			StartupBufferSec:   2 + rng.Float64()*12,
+			StartupSegments:    rng.Intn(3) + 1,
+			StartupTrack:       rng.Intn(nTracks),
+			PauseThresholdSec:  pause,
+			ResumeThresholdSec: pause * (0.2 + 0.7*rng.Float64()),
+			MaxConnections:     rng.Intn(4) + 1,
+			Persistent:         rng.Intn(2) == 0,
+			MinEstimateSamples: rng.Intn(3) + 1,
+			ExposeSegmentSizes: rng.Intn(2) == 0,
+		}
+		switch rng.Intn(3) {
+		case 0:
+			cfg.Scheduler = SchedulerSingle
+			cfg.MaxConnections = 1
+		case 1:
+			cfg.Scheduler = SchedulerParallel
+			cfg.VideoPipeline = rng.Intn(cfg.MaxConnections) + 1
+			if rng.Intn(2) == 0 && sep {
+				cfg.Audio = AudioDesynced
+			}
+		case 2:
+			cfg.Scheduler = SchedulerSplit
+			cfg.SplitSkew = rng.Float64() * 2
+		}
+		switch rng.Intn(5) {
+		case 0:
+			cfg.Algorithm = adaptation.Throughput{Factor: 0.5 + rng.Float64()*0.6}
+		case 1:
+			cfg.Algorithm = adaptation.DefaultHysteresis()
+		case 2:
+			cfg.Algorithm = adaptation.BufferBased{Reservoir: 5, Cushion: 20 + rng.Float64()*40}
+		case 3:
+			cfg.Algorithm = adaptation.OscillatingGreedy{Deadband: 0.5}
+		default:
+			cfg.Algorithm = adaptation.ProbeAdapt{}
+		}
+		if cfg.Scheduler == SchedulerSingle {
+			switch rng.Intn(3) {
+			case 0:
+				cfg.Replacement = replacement.ContiguousOnUpswitch{IgnoreBufferedQuality: rng.Intn(2) == 0}
+			case 1:
+				cfg.Replacement = replacement.PerSegment{MinBufferSec: 10, CapTrack: rng.Intn(nTracks+1) - 1}
+				cfg.MidBufferDiscard = true
+			}
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Seeks = []SeekEvent{{AtSec: 20 + rng.Float64()*60, ToSec: rng.Float64() * 280}}
+		}
+
+		// Random network.
+		samples := make([]float64, 120)
+		for i := range samples {
+			samples[i] = 100e3 + rng.Float64()*8e6
+		}
+		p := &netem.Profile{Name: "fz", SampleDur: 1, Samples: samples}
+
+		sess, err := NewSession(cfg, org, simnet.New(simnet.DefaultConfig(), p))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		res := sess.Run()
+
+		// Invariants (a subset of checkInvariants that tolerates seeks).
+		if res.EndTime > cfg.SessionDuration+1e-6 || res.EndTime < 0 {
+			t.Logf("seed %d: end time %v", seed, res.EndTime)
+			return false
+		}
+		if res.WastedBytes < 0 || res.WastedBytes > res.TotalBytes+1 {
+			t.Logf("seed %d: waste %v of %v", seed, res.WastedBytes, res.TotalBytes)
+			return false
+		}
+		for i, st := range res.Stalls {
+			if st.End < st.Start {
+				t.Logf("seed %d: stall %d reversed", seed, i)
+				return false
+			}
+		}
+		for _, tr := range res.Displayed {
+			if tr < -1 || tr >= nTracks {
+				t.Logf("seed %d: displayed track %d", seed, tr)
+				return false
+			}
+		}
+		var txBytes float64
+		for _, tx := range res.Transactions {
+			if !tx.Rejected {
+				txBytes += float64(tx.Bytes)
+			}
+		}
+		if diff := txBytes - res.TotalBytes; diff < -(1 + res.TotalBytes/1e3) {
+			t.Logf("seed %d: transactions %v < total %v", seed, txBytes, res.TotalBytes)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package player
+
+import (
+	"fmt"
+	"math"
+)
+
+// Group coordinates several sessions over one shared simulated network —
+// the "multiple clients behind one cellular link" scenario that fairness
+// studies like FESTIVE (cited in §5) target. All sessions start at t=0
+// and run until their own SessionDuration; the fluid network arbitrates
+// their transfers max-min fairly.
+//
+// A single session's Run is the one-member special case of a Group.
+type Group struct {
+	sessions []*Session
+}
+
+// NewGroup creates a coordinator; sessions added to it must share one
+// simnet.Network.
+func NewGroup() *Group { return &Group{} }
+
+// Add registers a session. Every session must have been created over the
+// same simnet.Network.
+func (g *Group) Add(s *Session) error {
+	if len(g.sessions) > 0 && g.sessions[0].net != s.net {
+		return fmt.Errorf("player: all sessions in a group must share one network")
+	}
+	g.sessions = append(g.sessions, s)
+	return nil
+}
+
+// Run drives every session to completion and returns their results in
+// the order they were added.
+func (g *Group) Run() []*Result {
+	if len(g.sessions) == 0 {
+		return nil
+	}
+	net := g.sessions[0].net
+	for {
+		now := net.Now()
+		allDone := true
+		deadline := math.Inf(1)
+		inflight := 0
+		for _, s := range g.sessions {
+			if s.done {
+				continue
+			}
+			if now >= s.cfg.SessionDuration-eps || s.finished {
+				s.finishRun()
+				continue
+			}
+			allDone = false
+			s.issueRequests()
+			if d := s.nextDeadline(); d < deadline {
+				deadline = d
+			}
+			if s.cfg.SessionDuration < deadline {
+				deadline = s.cfg.SessionDuration
+			}
+			inflight += s.inflight
+		}
+		if allDone {
+			break
+		}
+		if inflight == 0 && math.IsInf(deadline, 1) {
+			for _, s := range g.sessions {
+				if !s.done {
+					s.finishRun()
+				}
+			}
+			break
+		}
+		target := deadline
+		if target <= now+eps {
+			target = now + 1e-6
+		}
+		completed := net.Step(target)
+		for _, s := range g.sessions {
+			if !s.done {
+				s.advancePlayback(net.Now())
+			}
+		}
+		for _, tr := range completed {
+			m := tr.Meta.(*reqMeta)
+			if m.owner != nil && m.owner.done {
+				continue // abandoned session; ignore stragglers
+			}
+			if m.owner != nil {
+				m.owner.onComplete(tr)
+			}
+		}
+	}
+	out := make([]*Result, len(g.sessions))
+	for i, s := range g.sessions {
+		out[i] = s.res
+	}
+	return out
+}
+
+// finishRun finalizes a session once and releases its connections so
+// they stop competing for the shared link.
+func (s *Session) finishRun() {
+	if s.done {
+		return
+	}
+	s.finalize()
+	for _, c := range s.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	s.done = true
+}

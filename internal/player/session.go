@@ -1,0 +1,1027 @@
+package player
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adaptation"
+	"repro/internal/manifest"
+	"repro/internal/media"
+	"repro/internal/origin"
+	"repro/internal/replacement"
+	"repro/internal/simnet"
+	"repro/internal/traffic"
+)
+
+const eps = 1e-9
+
+// Session runs one streaming session of a configured player against an
+// origin over a simulated network, in virtual time. A session is strictly
+// single-threaded and deterministic.
+type Session struct {
+	cfg  Config
+	org  *origin.Origin
+	pres *manifest.Presentation // server truth (has sizes)
+	view *manifest.Presentation // client view (sizes only if protocol exposes them)
+	net  *simnet.Network
+
+	conns []*simnet.Conn
+	live  map[*simnet.Conn]*reqMeta
+
+	// playback state
+	playhead       float64
+	lastTime       float64
+	playing        bool
+	started        bool
+	finished       bool
+	curPlay        PlayInterval
+	stallOpen      bool
+	stallStart     float64
+	nextDisplayIdx int
+	nextSample     float64
+
+	// download state
+	videoBuf, audioBuf     Buffer
+	nextVideo, nextAudio   int
+	pausedVideo, pausedAud bool
+	lastVideoTrack         int
+	prevDecisionOcc        float64
+	fetchedDocs            map[string]bool
+	docQueue               []docReq
+	inflight               int
+	downloadDead           bool
+	segSeq                 int
+	group                  *splitGroup
+	lastVideoDone          float64
+	deliveredAtDone        float64
+	videoSamples           int
+	done                   bool
+	pendingSeeks           []SeekEvent
+	seekOpen               bool
+	seekStart              float64
+
+	res *Result
+}
+
+type docReq struct {
+	url      string
+	rs, re   int64
+	body     []byte
+	wireSize float64
+}
+
+type reqKind int
+
+const (
+	reqDoc reqKind = iota
+	reqSeg
+	reqPart
+)
+
+type reqMeta struct {
+	owner   *Session
+	kind    reqKind
+	slot    int
+	url     string
+	rs, re  int64
+	body    []byte
+	typ     media.MediaType
+	track   int
+	index   int
+	replace bool
+	dlIdx   int
+	group   *splitGroup
+}
+
+type splitGroup struct {
+	meta      reqMeta
+	remaining int
+	started   float64
+	bytes     float64
+}
+
+// NewSession builds a session. The network must be freshly created for
+// the session (its clock starts at 0).
+func NewSession(cfg Config, org *origin.Origin, net *simnet.Network) (*Session, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.StartupTrack < 0 || cfg.StartupTrack >= len(org.Pres.Video) {
+		return nil, fmt.Errorf("player: startup track %d out of ladder range", cfg.StartupTrack)
+	}
+	s := &Session{
+		cfg:            cfg,
+		org:            org,
+		pres:           org.Pres,
+		view:           clientView(org.Pres),
+		net:            net,
+		conns:          make([]*simnet.Conn, cfg.MaxConnections),
+		live:           map[*simnet.Conn]*reqMeta{},
+		lastVideoTrack: -1,
+		fetchedDocs:    map[string]bool{},
+	}
+	n := len(s.pres.Video[0].Segments)
+	s.res = &Result{
+		Name:               cfg.Name,
+		MediaDuration:      s.pres.Duration,
+		SegmentCount:       n,
+		SegmentDuration:    s.pres.Video[0].SegmentDuration,
+		StartupDelay:       -1,
+		Displayed:          make([]int, n),
+		DisplayedWallStart: make([]float64, n),
+	}
+	for i := range s.res.Displayed {
+		s.res.Displayed[i] = -1
+		s.res.DisplayedWallStart[i] = -1
+	}
+	for _, r := range s.pres.Video {
+		s.res.Declared = append(s.res.Declared, r.DeclaredBitrate)
+	}
+	s.pendingSeeks = append([]SeekEvent(nil), cfg.Seeks...)
+	s.buildDocQueue()
+	return s, nil
+}
+
+// clientView clones the presentation, hiding per-segment sizes when the
+// protocol does not expose them before download (plain HLS URLs and
+// SmoothStreaming templates carry no size information; §4.2).
+func clientView(p *manifest.Presentation) *manifest.Presentation {
+	exposes := p.Addressing == manifest.RangesInManifest || p.Addressing == manifest.SidxRanges
+	cp := *p
+	strip := func(rs []*manifest.Rendition) []*manifest.Rendition {
+		out := make([]*manifest.Rendition, len(rs))
+		for i, r := range rs {
+			rr := *r
+			rr.Segments = append([]manifest.Segment(nil), r.Segments...)
+			if !exposes {
+				for j := range rr.Segments {
+					rr.Segments[j].Size = 0
+				}
+			}
+			out[i] = &rr
+		}
+		return out
+	}
+	cp.Video = strip(p.Video)
+	cp.Audio = strip(p.Audio)
+	return &cp
+}
+
+func (s *Session) buildDocQueue() {
+	p := s.pres
+	push := func(url string) {
+		if body, ok := s.org.Document(url); ok {
+			s.docQueue = append(s.docQueue, docReq{url: url, rs: -1, re: -1, body: body, wireSize: float64(len(body))})
+		}
+	}
+	push(p.ManifestURL())
+	switch p.Protocol {
+	case manifest.HLS:
+		push(p.Video[s.cfg.StartupTrack].PlaylistURL)
+	case manifest.DASH:
+		if p.Addressing == manifest.SidxRanges {
+			for _, r := range append(append([]*manifest.Rendition{}, p.Video...), p.Audio...) {
+				if body, ok := s.org.Sidx(r.MediaURL); ok {
+					s.docQueue = append(s.docQueue, docReq{
+						url: r.MediaURL, rs: r.IndexOffset, re: r.IndexOffset + r.IndexLength - 1,
+						body: body, wireSize: float64(r.IndexLength),
+					})
+				}
+			}
+		}
+	}
+	for _, d := range s.docQueue {
+		s.fetchedDocs[d.url] = true
+	}
+}
+
+func (s *Session) separateAudio() bool { return len(s.pres.Audio) > 0 }
+
+func (s *Session) conn(slot int) *simnet.Conn {
+	if s.conns[slot] == nil {
+		s.conns[slot] = s.net.Dial()
+	}
+	return s.conns[slot]
+}
+
+func (s *Session) startTransfer(slot int, size float64, m *reqMeta) {
+	m.owner = s
+	m.slot = slot
+	c := s.conn(slot)
+	tr := c.Start(size, m)
+	_ = tr
+	s.live[c] = m
+	s.inflight++
+}
+
+// Run executes the session to completion and returns the result. It is
+// the single-member special case of a Group run, so a solo session and a
+// member of a multi-client group behave identically.
+func (s *Session) Run() *Result {
+	g := NewGroup()
+	if err := g.Add(s); err != nil {
+		panic(err) // unreachable: a fresh group accepts any session
+	}
+	g.Run()
+	return s.res
+}
+
+// nextDeadline returns the next time playback or control state can change
+// without a download completing.
+func (s *Session) nextDeadline() float64 {
+	d := math.Inf(1)
+	now := s.net.Now()
+	if s.playing {
+		end := math.Min(s.playableEnd(), s.pres.Duration)
+		d = math.Min(d, now+(end-s.playheadAtNow()))
+		if s.pausedVideo {
+			occ := s.videoBuf.PlayableEnd(s.playheadAtNow()) - s.playheadAtNow()
+			d = math.Min(d, now+math.Max(0, occ-s.cfg.ResumeThresholdSec))
+		}
+		if s.pausedAud {
+			occ := s.audioBuf.PlayableEnd(s.playheadAtNow()) - s.playheadAtNow()
+			d = math.Min(d, now+math.Max(0, occ-s.cfg.ResumeThresholdSec))
+		}
+	}
+	if s.inflight > 0 || s.playing {
+		// Keep the 1 Hz sampler ticking while anything is happening.
+		d = math.Min(d, s.nextSample)
+	}
+	if len(s.pendingSeeks) > 0 {
+		d = math.Min(d, s.pendingSeeks[0].AtSec)
+	}
+	return d
+}
+
+// playableEnd is the media time up to which playback can proceed.
+func (s *Session) playableEnd() float64 {
+	end := s.videoBuf.PlayableEnd(s.playhead)
+	if s.separateAudio() {
+		end = math.Min(end, s.audioBuf.PlayableEnd(s.playhead))
+	}
+	return end
+}
+
+func (s *Session) bufferedSec() float64 { return s.playableEnd() - s.playhead }
+
+func (s *Session) bufferedSegments() int {
+	n := s.videoBuf.UnplayedCount(s.playhead)
+	if s.separateAudio() {
+		if a := s.audioBuf.UnplayedCount(s.playhead); a < n {
+			n = a
+		}
+	}
+	return n
+}
+
+// playheadAtNow interpolates the playhead to the current wall time (the
+// playhead field is only synced by advancePlayback).
+func (s *Session) playheadAtNow() float64 {
+	ph := s.playhead
+	if s.playing {
+		ph += s.net.Now() - s.lastTime
+		if end := s.playableEnd(); ph > end {
+			ph = end
+		}
+	}
+	return ph
+}
+
+// advancePlayback moves the playhead to wall time t, recording displayed
+// segments, stalls, 1 Hz samples and playback intervals.
+func (s *Session) advancePlayback(t float64) {
+	for s.lastTime < t-eps {
+		if !s.playing {
+			s.sampleUpTo(t)
+			s.lastTime = t
+			break
+		}
+		limit := math.Min(s.playableEnd(), s.pres.Duration)
+		maxAdv := math.Max(0, limit-s.playhead)
+		dt := t - s.lastTime
+		adv := math.Min(dt, maxAdv)
+		s.sampleUpTo(s.lastTime + adv)
+		s.recordDisplayUpTo(s.playhead + adv)
+		s.playhead += adv
+		s.lastTime += adv
+		if adv < dt-eps {
+			if s.playhead >= s.pres.Duration-eps {
+				s.stopPlaying(false)
+				s.finished = true
+				s.sampleUpTo(t)
+				s.lastTime = t
+				return
+			}
+			s.stopPlaying(true)
+		}
+	}
+}
+
+// sampleUpTo records 1 Hz buffer samples for wall times up to t, the
+// simulator-side analogue of the paper's seekbar hook (§2.4).
+func (s *Session) sampleUpTo(t float64) {
+	for s.nextSample <= t+eps {
+		ph := s.playhead
+		if s.playing {
+			ph += s.nextSample - s.lastTime
+			if end := s.playableEnd(); ph > end {
+				ph = end
+			}
+		}
+		s.res.Samples = append(s.res.Samples, BufferSample{
+			T:        s.nextSample,
+			Playhead: ph,
+			VideoSec: math.Max(0, s.videoBuf.PlayableEnd(ph)-ph),
+			AudioSec: math.Max(0, s.audioBuf.PlayableEnd(ph)-ph),
+			Playing:  s.playing,
+		})
+		s.nextSample++
+	}
+}
+
+// recordDisplayUpTo notes the on-screen track for every segment whose
+// playback begins before media time target.
+func (s *Session) recordDisplayUpTo(target float64) {
+	segDur := s.res.SegmentDuration
+	for s.nextDisplayIdx < s.res.SegmentCount {
+		start := float64(s.nextDisplayIdx) * segDur
+		if start >= target-eps {
+			break
+		}
+		if seg, ok := s.videoBuf.SegmentAt(start + eps); ok {
+			s.res.Displayed[s.nextDisplayIdx] = seg.Track
+			s.res.DisplayedWallStart[s.nextDisplayIdx] = s.lastTime + (start - s.playhead)
+		}
+		s.nextDisplayIdx++
+	}
+}
+
+// processSeeks executes scheduled user seeks whose time has come: stop
+// playback, flush the buffers (refetching after a seek is what most
+// players do), move the cursors to the target segment, and let the
+// recovery gates restart playback.
+func (s *Session) processSeeks() {
+	for len(s.pendingSeeks) > 0 && s.net.Now() >= s.pendingSeeks[0].AtSec-eps {
+		ev := s.pendingSeeks[0]
+		s.pendingSeeks = s.pendingSeeks[1:]
+		target := math.Max(0, math.Min(ev.ToSec, s.pres.Duration-1e-6))
+		s.stopPlaying(false)
+		s.finished = false
+		// Flush: everything buffered is refetched after the jump.
+		for _, b := range s.videoBuf.DropFromIndex(0) {
+			s.res.WastedBytes += b.Bytes
+		}
+		for _, b := range s.audioBuf.DropFromIndex(0) {
+			s.res.WastedBytes += b.Bytes
+		}
+		s.playhead = target
+		s.lastTime = s.net.Now()
+		s.nextVideo = int(target / s.res.SegmentDuration)
+		if s.separateAudio() {
+			s.nextAudio = int(target / s.pres.Audio[0].SegmentDuration)
+		}
+		s.nextDisplayIdx = s.nextVideo
+		s.pausedVideo, s.pausedAud = false, false
+		s.seekOpen = true
+		s.seekStart = s.net.Now()
+		s.res.Seeks = append(s.res.Seeks, SeekRecord{At: s.net.Now(), To: target, Latency: -1})
+		s.event("seek", fmt.Sprintf("to %.1fs (buffer flushed)", target))
+	}
+}
+
+func (s *Session) startPlaying() {
+	s.playing = true
+	s.curPlay = PlayInterval{WallStart: s.net.Now(), MediaStart: s.playhead}
+	if s.seekOpen {
+		s.seekOpen = false
+		s.res.Seeks[len(s.res.Seeks)-1].Latency = s.net.Now() - s.seekStart
+		s.event("seek-done", fmt.Sprintf("resumed after %.2fs", s.net.Now()-s.seekStart))
+	}
+	if !s.started {
+		s.started = true
+		s.res.StartupDelay = s.net.Now()
+		s.event("startup", fmt.Sprintf("playback started, delay %.2fs", s.res.StartupDelay))
+	} else if s.stallOpen {
+		s.res.Stalls = append(s.res.Stalls, Stall{Start: s.stallStart, End: s.net.Now()})
+		s.stallOpen = false
+		s.event("resume", fmt.Sprintf("stall over after %.2fs", s.net.Now()-s.stallStart))
+	}
+}
+
+func (s *Session) stopPlaying(stall bool) {
+	if !s.playing {
+		return
+	}
+	s.playing = false
+	s.curPlay.WallEnd = s.lastTime
+	s.res.PlayIntervals = append(s.res.PlayIntervals, s.curPlay)
+	if stall {
+		s.stallOpen = true
+		s.stallStart = s.lastTime
+		s.event("stall", fmt.Sprintf("buffer empty at playhead %.1fs", s.playhead))
+	}
+}
+
+func (s *Session) event(kind, detail string) {
+	s.res.Events = append(s.res.Events, Event{T: s.net.Now(), Kind: kind, Detail: detail})
+}
+
+// maybeStartPlayback applies the startup/recovery gates (§3.3.1, §4.3).
+func (s *Session) maybeStartPlayback() {
+	if s.playing || s.finished {
+		return
+	}
+	need, needSegs := s.cfg.StartupBufferSec, s.cfg.StartupSegments
+	if s.started {
+		need, needSegs = s.cfg.RecoverySec, s.cfg.RecoverySegments
+	}
+	allDownloaded := s.nextVideo >= s.res.SegmentCount &&
+		(!s.separateAudio() || s.nextAudio >= len(s.pres.Audio[0].Segments))
+	if (s.bufferedSec() >= need-eps && s.bufferedSegments() >= needSegs) ||
+		(allDownloaded && s.bufferedSec() > eps) {
+		s.startPlaying()
+	}
+}
+
+// updatePauseFlags runs the download controller's hysteresis (§3.3.2).
+func (s *Session) updatePauseFlags() {
+	ph := s.playheadAtNow()
+	occV := math.Max(0, s.videoBuf.PlayableEnd(ph)-ph)
+	s.pausedVideo = s.hysteresis(s.pausedVideo, occV, "video")
+	if s.separateAudio() {
+		occA := math.Max(0, s.audioBuf.PlayableEnd(ph)-ph)
+		s.pausedAud = s.hysteresis(s.pausedAud, occA, "audio")
+	}
+}
+
+func (s *Session) hysteresis(paused bool, occ float64, kind string) bool {
+	if paused {
+		if occ <= s.cfg.ResumeThresholdSec+1e-6 {
+			s.event("resume-dl", fmt.Sprintf("%s buffer %.1fs ≤ resume threshold %.0fs", kind, occ, s.cfg.ResumeThresholdSec))
+			return false
+		}
+		return true
+	}
+	if occ >= s.cfg.PauseThresholdSec-1e-6 {
+		s.event("pause-dl", fmt.Sprintf("%s buffer %.1fs ≥ pause threshold %.0fs", kind, occ, s.cfg.PauseThresholdSec))
+		return true
+	}
+	return false
+}
+
+// ---- request issuing ----
+
+func (s *Session) issueRequests() {
+	s.processSeeks()
+	if s.downloadDead {
+		return
+	}
+	if len(s.docQueue) > 0 {
+		if !s.conn(0).Busy() {
+			d := s.docQueue[0]
+			s.docQueue = s.docQueue[1:]
+			s.startDoc(0, d)
+		}
+		return
+	}
+	s.updatePauseFlags()
+	switch s.cfg.Scheduler {
+	case SchedulerSingle:
+		s.issueSingle()
+	case SchedulerParallel:
+		s.issueParallel()
+	case SchedulerSplit:
+		s.issueSplit()
+	}
+}
+
+func (s *Session) startDoc(slot int, d docReq) {
+	s.startTransfer(slot, d.wireSize, &reqMeta{
+		kind: reqDoc, url: d.url, rs: d.rs, re: d.re, body: d.body, dlIdx: -1,
+	})
+}
+
+// nextTaskSynced picks the content type that is further behind, counting
+// both buffered and inflight media (§3.2's coordination best practice).
+// It returns -1 when everything has been requested.
+func (s *Session) nextTaskSynced() media.MediaType {
+	vDone := s.nextVideo >= s.res.SegmentCount
+	if !s.separateAudio() {
+		if vDone {
+			return media.MediaType(-1)
+		}
+		return media.TypeVideo
+	}
+	aDone := s.nextAudio >= len(s.pres.Audio[0].Segments)
+	vEnd := float64(s.nextVideo) * s.res.SegmentDuration
+	aEnd := float64(s.nextAudio) * s.pres.Audio[0].SegmentDuration
+	switch {
+	case vDone && aDone:
+		return media.MediaType(-1)
+	case vDone:
+		return media.TypeAudio
+	case aDone:
+		return media.TypeVideo
+	case aEnd < vEnd:
+		return media.TypeAudio
+	default:
+		return media.TypeVideo
+	}
+}
+
+func (s *Session) issueSingle() {
+	if s.conn(0).Busy() {
+		return
+	}
+	switch s.nextTaskSynced() {
+	case media.TypeAudio:
+		if !s.pausedAud {
+			s.issueSegment(media.TypeAudio, 0)
+		}
+	case media.TypeVideo:
+		if !s.pausedVideo {
+			s.issueSegment(media.TypeVideo, 0)
+		}
+	default:
+		// Everything fetched; replacement may still want to work.
+		if !s.pausedVideo {
+			s.issueSegment(media.TypeVideo, 0)
+		}
+	}
+}
+
+func (s *Session) issueParallel() {
+	if s.separateAudio() && s.cfg.Audio == AudioDesynced {
+		// D1: the video pipeline prefetches greedily on N-1 connections
+		// while audio trails on a single low-priority connection that
+		// only fetches while audio is behind video — under low bandwidth
+		// audio's 1/N share barely covers its bitrate, so the two
+		// buffers drift tens of seconds apart (Figure 6).
+		audioBehind := float64(s.nextAudio)*s.pres.Audio[0].SegmentDuration <
+			float64(s.nextVideo)*s.res.SegmentDuration
+		if !s.conn(0).Busy() && !s.pausedAud && audioBehind && s.nextAudio < len(s.pres.Audio[0].Segments) {
+			s.issueSegment(media.TypeAudio, 0)
+		}
+		for slot := 1; slot < s.cfg.MaxConnections; slot++ {
+			if s.conn(slot).Busy() || s.pausedVideo || s.nextVideo >= s.res.SegmentCount {
+				continue
+			}
+			s.issueSegment(media.TypeVideo, slot)
+		}
+		return
+	}
+	for slot := 0; slot < s.cfg.MaxConnections; slot++ {
+		if s.conn(slot).Busy() {
+			continue
+		}
+		task := s.nextTaskSynced()
+		if task == media.TypeAudio && (s.audioInflight() || s.pausedAud) {
+			task = media.TypeVideo
+		}
+		if task != media.TypeVideo && task != media.TypeAudio {
+			return
+		}
+		if task == media.TypeVideo {
+			// Synced multi-connection services use their connections to
+			// separate audio from video, not to pipeline video: more
+			// than one concurrent video fetch would split the link and
+			// depress the bandwidth estimate (§3.2).
+			if s.pausedVideo || s.nextVideo >= s.res.SegmentCount || s.videoInflight() >= s.cfg.VideoPipeline {
+				continue
+			}
+		}
+		s.issueSegment(task, slot)
+	}
+}
+
+func (s *Session) videoInflight() int {
+	n := 0
+	for c, m := range s.live {
+		if c.Busy() && m.kind != reqDoc && m.typ == media.TypeVideo {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Session) audioInflight() bool {
+	for c, m := range s.live {
+		if c.Busy() && m.kind != reqDoc && m.typ == media.TypeAudio {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Session) issueSplit() {
+	if s.group != nil {
+		return
+	}
+	// All connections must be idle: the last startup document can still
+	// be in flight on connection 0 when the queue empties.
+	for _, c := range s.conns {
+		if c != nil && c.Busy() {
+			return
+		}
+	}
+	task := s.nextTaskSynced()
+	if task == media.TypeAudio && s.pausedAud {
+		task = media.TypeVideo
+	}
+	if task == media.TypeVideo && (s.pausedVideo || s.nextVideo >= s.res.SegmentCount) {
+		return
+	}
+	if task != media.TypeVideo && task != media.TypeAudio {
+		return
+	}
+	meta, size, ok := s.prepareSegment(task)
+	if !ok {
+		return
+	}
+	parts := s.cfg.MaxConnections
+	if float64(parts) > size {
+		parts = 1
+	}
+	g := &splitGroup{meta: *meta, remaining: parts, started: s.net.Now(), bytes: size}
+	s.group = g
+	// Part weights: equal by default; SplitSkew > 0 inflates later
+	// parts, modelling split points chosen without regard to the
+	// per-connection bandwidth (§3.2) — the segment then finishes only
+	// when the most overloaded connection does.
+	weights := make([]float64, parts)
+	wsum := 0.0
+	for i := range weights {
+		weights[i] = 1 + s.cfg.SplitSkew*float64(i)
+		if weights[i] < 0.2 {
+			weights[i] = 0.2
+		}
+		wsum += weights[i]
+	}
+	// Part boundaries are integer byte offsets so the ranged requests
+	// tile the segment exactly.
+	off := 0.0
+	intOff := int64(0)
+	for i := 0; i < parts; i++ {
+		m := *meta
+		m.kind = reqPart
+		m.group = g
+		off += size * weights[i] / wsum
+		end := int64(off + 0.5)
+		if i == parts-1 {
+			end = int64(size + 0.5)
+		}
+		sz := float64(end - intOff)
+		if m.rs >= 0 {
+			m.rs = meta.rs + intOff
+			m.re = meta.rs + end - 1
+			if i == parts-1 {
+				m.re = meta.re
+				sz = float64(m.re - m.rs + 1)
+			}
+		}
+		intOff = end
+		mc := m
+		s.startTransfer(i, sz, &mc)
+	}
+}
+
+// issueSegment prepares and starts the next segment of a type on a slot.
+func (s *Session) issueSegment(t media.MediaType, slot int) {
+	m, size, ok := s.prepareSegment(t)
+	if !ok {
+		return
+	}
+	if m.kind == reqDoc { // a lazily fetched HLS media playlist
+		s.startTransfer(slot, size, m)
+		return
+	}
+	s.startTransfer(slot, size, m)
+}
+
+// prepareSegment resolves the next segment of a type into request
+// metadata, running adaptation (and replacement for video), the lazy HLS
+// playlist fetch, the request gate, and the download log. It advances the
+// per-type cursor on success.
+func (s *Session) prepareSegment(t media.MediaType) (*reqMeta, float64, bool) {
+	var rend *manifest.Rendition
+	var index int
+	var repl bool
+	if t == media.TypeAudio {
+		index = s.nextAudio
+		rend = s.pres.Audio[0]
+		if index >= len(rend.Segments) {
+			return nil, 0, false
+		}
+	} else {
+		prevTrack := s.lastVideoTrack
+		track := s.selectVideoTrack()
+		index = s.nextVideo
+		if s.cfg.Scheduler == SchedulerSingle {
+			act := s.considerReplacement(track)
+			switch act.Op {
+			case replacement.OpReplace:
+				index, repl = act.Index, true
+			case replacement.OpDropTail:
+				dropped := s.videoBuf.DropFromIndex(act.Index)
+				if len(dropped) > 0 {
+					s.discard(dropped)
+					s.event("sr-drop", fmt.Sprintf("dropped %d buffered segments from index %d", len(dropped), act.Index))
+					s.nextVideo = act.Index
+					index = act.Index
+				}
+			}
+		}
+		if !repl && index >= s.res.SegmentCount {
+			return nil, 0, false
+		}
+		rend = s.pres.Video[track]
+		// HLS fetches a track's media playlist before its first segment
+		// from that track.
+		if s.pres.Protocol == manifest.HLS {
+			if pl := rend.PlaylistURL; pl != "" && !s.fetchedDocs[pl] {
+				s.fetchedDocs[pl] = true
+				if body, ok := s.org.Document(pl); ok {
+					return &reqMeta{
+						kind: reqDoc, url: pl, rs: -1, re: -1, body: body, dlIdx: -1,
+					}, float64(len(body)), true
+				}
+			}
+		}
+		s.lastVideoTrack = track
+		_ = prevTrack
+	}
+	seg := rend.Segments[index]
+	m := &reqMeta{
+		kind: reqSeg, typ: t, track: rend.ID, index: index, replace: repl,
+		url: seg.URL, rs: -1, re: -1, dlIdx: -1,
+	}
+	if seg.URL == "" {
+		m.url = rend.MediaURL
+		m.rs, m.re = seg.Offset, seg.Offset+seg.Length-1
+	}
+	if gate := s.cfg.RequestGate; gate != nil {
+		req := Request{URL: m.url, RangeStart: m.rs, RangeEnd: m.re, IsSegment: true, SegmentSeq: s.segSeq}
+		if !gate(req) {
+			now := s.net.Now()
+			s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
+				Start: now, End: now, Method: "GET", URL: m.url,
+				RangeStart: m.rs, RangeEnd: m.re, Rejected: true,
+			})
+			s.event("reject", fmt.Sprintf("origin rejected segment request #%d", s.segSeq))
+			s.downloadDead = true
+			return nil, 0, false
+		}
+	}
+	s.segSeq++
+	if t == media.TypeAudio {
+		s.nextAudio++
+	} else if !repl {
+		s.nextVideo = index + 1
+	}
+	m.dlIdx = len(s.res.Downloads)
+	s.res.Downloads = append(s.res.Downloads, Download{
+		Type: t, Track: m.track, Index: index,
+		Declared: rend.DeclaredBitrate, Duration: seg.Duration,
+		Bytes: float64(seg.Size), Start: s.net.Now(), Replacement: repl,
+	})
+	return m, float64(seg.Size), true
+}
+
+func (s *Session) selectVideoTrack() int {
+	occ := s.bufferedSec()
+	est := s.cfg.Estimator.Estimate()
+	if s.videoSamples < s.cfg.MinEstimateSamples {
+		est = 0 // not enough history: stay on the startup track
+	}
+	ctx := adaptation.Context{
+		Declared:        s.res.Declared,
+		SegmentDuration: s.res.SegmentDuration,
+		SegmentCount:    s.res.SegmentCount,
+		NextIndex:       s.nextVideo,
+		BufferSec:       occ,
+		BufferTrend:     occ - s.prevDecisionOcc,
+		EstimateBps:     est,
+		LastTrack:       s.lastVideoTrack,
+		StartupTrack:    s.cfg.StartupTrack,
+	}
+	var avgs []float64
+	for _, r := range s.view.Video {
+		if r.AverageBitrate > 0 {
+			avgs = append(avgs, r.AverageBitrate)
+		}
+	}
+	if len(avgs) == len(s.view.Video) {
+		ctx.Average = avgs
+	}
+	if s.cfg.ExposeSegmentSizes && len(s.view.Video) > 0 && len(s.view.Video[0].Segments) > 0 &&
+		s.view.Video[0].Segments[0].Size > 0 {
+		view := s.view
+		ctx.SegmentSize = func(track, index int) float64 {
+			return float64(view.Video[track].Segments[index].Size)
+		}
+	}
+	s.prevDecisionOcc = occ
+	return s.cfg.Algorithm.Select(ctx)
+}
+
+func (s *Session) considerReplacement(selected int) replacement.Action {
+	if _, isNone := s.cfg.Replacement.(replacement.None); isNone {
+		return replacement.Action{Op: replacement.OpNext}
+	}
+	ph := s.playheadAtNow()
+	var buffered []replacement.BufferedSegment
+	for _, b := range s.videoBuf.Segments() {
+		if b.End <= ph {
+			continue
+		}
+		buffered = append(buffered, replacement.BufferedSegment{Index: b.Index, Track: b.Track, Start: b.Start})
+	}
+	act := s.cfg.Replacement.Consider(replacement.View{
+		Buffered:        buffered,
+		Playhead:        ph,
+		BufferSec:       s.bufferedSec(),
+		SelectedTrack:   selected,
+		LastTrack:       s.lastVideoTrack,
+		NextIndex:       s.nextVideo,
+		SegmentDuration: s.res.SegmentDuration,
+	})
+	if act.Op == replacement.OpReplace && !s.cfg.MidBufferDiscard {
+		// The buffer cannot drop a middle segment; a faithful player
+		// falls back to not replacing (ExoPlayer v2's choice, §4.1.2).
+		return replacement.Action{Op: replacement.OpNext}
+	}
+	return act
+}
+
+func (s *Session) discard(dropped []BufferedSegment) {
+	for _, d := range dropped {
+		s.res.WastedBytes += d.Bytes
+		for i := len(s.res.Downloads) - 1; i >= 0; i-- {
+			dl := &s.res.Downloads[i]
+			if dl.Type == media.TypeVideo && dl.Index == d.Index && dl.Track == d.Track && !dl.Discarded {
+				dl.Discarded = true
+				break
+			}
+		}
+	}
+}
+
+// ---- completion handling ----
+
+func (s *Session) onComplete(tr *simnet.Transfer) {
+	s.inflight--
+	m := tr.Meta.(*reqMeta)
+	delete(s.live, tr.Conn)
+	if !s.cfg.Persistent {
+		tr.Conn.Close()
+		if m.slot < len(s.conns) && s.conns[m.slot] == tr.Conn {
+			s.conns[m.slot] = nil
+		}
+	}
+	switch m.kind {
+	case reqDoc:
+		s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
+			Start: tr.Started, End: tr.Completed, Method: "GET", URL: m.url,
+			RangeStart: m.rs, RangeEnd: m.re, Bytes: int64(tr.Size), Body: m.body,
+		})
+		s.res.TotalBytes += tr.Size
+	case reqSeg:
+		s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
+			Start: tr.Started, End: tr.Completed, Method: "GET", URL: m.url,
+			RangeStart: m.rs, RangeEnd: m.re, Bytes: int64(tr.Size),
+		})
+		// Only video chunks feed the estimator: audio segments are tiny,
+		// latency-dominated exchanges that would bias the estimate low.
+		if m.typ == media.TypeVideo {
+			s.addVideoSample(tr.Size*8, tr.Started, tr.Completed)
+		}
+		s.finishSegmentCore(m, tr.Size, tr.Completed)
+	case reqPart:
+		s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
+			Start: tr.Started, End: tr.Completed, Method: "GET", URL: m.url,
+			RangeStart: m.rs, RangeEnd: m.re, Bytes: int64(tr.Size),
+		})
+		g := m.group
+		g.remaining--
+		if g.remaining == 0 {
+			s.group = nil
+			if g.meta.typ == media.TypeVideo {
+				s.addVideoSample(g.bytes*8, g.started, s.net.Now())
+			}
+			s.finishSegmentCore(&g.meta, g.bytes, s.net.Now())
+		}
+	}
+}
+
+// addVideoSample feeds the bandwidth estimator with the aggregate
+// delivery rate since the previous video completion: total bytes the
+// link delivered (all connections) over the smaller of the exchange
+// duration and the inter-completion interval. Pipelined parallel
+// downloads (D1) thus register the aggregate arrival rate rather than a
+// 1/N per-connection share, while idle gaps before a download do not
+// drag the estimate down.
+func (s *Session) addVideoSample(bits, started, completed float64) {
+	delivered := s.net.Delivered()
+	aggBits := (delivered - s.deliveredAtDone) * 8
+	dur := completed - started
+	if s.lastVideoDone > 0 {
+		if d := completed - s.lastVideoDone; d < dur {
+			dur = d
+		}
+	} else {
+		aggBits = bits
+	}
+	if dur < 1e-3 {
+		dur = 1e-3
+	}
+	if aggBits <= 0 {
+		aggBits = bits
+	}
+	s.lastVideoDone = completed
+	s.deliveredAtDone = delivered
+	s.videoSamples++
+	s.cfg.Estimator.Add(aggBits, dur)
+}
+
+// finishSegmentCore updates buffers and playback state once a segment
+// (or a completed split group) has fully arrived.
+func (s *Session) finishSegmentCore(m *reqMeta, size, completed float64) {
+	s.res.TotalBytes += size
+	if m.dlIdx >= 0 && m.dlIdx < len(s.res.Downloads) {
+		s.res.Downloads[m.dlIdx].End = completed
+	}
+	var rend *manifest.Rendition
+	var buf *Buffer
+	if m.typ == media.TypeAudio {
+		rend, buf = s.pres.Audio[0], &s.audioBuf
+	} else {
+		rend, buf = s.pres.Video[m.track], &s.videoBuf
+	}
+	seg := rend.Segments[m.index]
+	bs := BufferedSegment{
+		Type: m.typ, Track: m.track, Index: m.index,
+		Start: seg.Start, End: seg.Start + seg.Duration,
+		Bytes: size, DownloadedAt: completed,
+	}
+	ph := s.playheadAtNow()
+	if m.replace && bs.Start < ph {
+		// The position already played; the whole re-download is waste.
+		s.res.WastedBytes += size
+		if m.dlIdx >= 0 {
+			s.res.Downloads[m.dlIdx].Discarded = true
+		}
+	} else {
+		old, replaced := buf.Insert(bs)
+		if replaced {
+			s.res.WastedBytes += old.Bytes
+			for i := len(s.res.Downloads) - 1; i >= 0; i-- {
+				dl := &s.res.Downloads[i]
+				if dl.Type == m.typ && dl.Index == m.index && dl.Track == old.Track && !dl.Discarded && dl.End > 0 {
+					dl.Discarded = true
+					break
+				}
+			}
+			s.event("sr-replace", fmt.Sprintf("segment %d: track %d → %d", m.index, old.Track, m.track))
+		} else if m.typ == media.TypeVideo && !m.replace {
+			if prev := s.prevDownloadedTrack(m.index); prev >= 0 && prev != m.track {
+				s.event("switch", fmt.Sprintf("segment %d downloaded at track %d (prev %d)", m.index, m.track, prev))
+			}
+		}
+	}
+	s.videoBuf.GC(ph)
+	if s.separateAudio() {
+		s.audioBuf.GC(ph)
+	}
+	s.maybeStartPlayback()
+}
+
+// prevDownloadedTrack returns the track of the forward video download
+// with the highest index below the given one, or -1.
+func (s *Session) prevDownloadedTrack(index int) int {
+	best, bestIdx := -1, -1
+	for _, d := range s.res.Downloads {
+		if d.Type != media.TypeVideo || d.Replacement || d.End == 0 {
+			continue
+		}
+		if d.Index < index && d.Index > bestIdx {
+			bestIdx, best = d.Index, d.Track
+		}
+	}
+	return best
+}
+
+func (s *Session) finalize() {
+	end := math.Min(s.net.Now(), s.cfg.SessionDuration)
+	s.advancePlayback(end)
+	if s.playing {
+		s.playing = false
+		s.curPlay.WallEnd = s.lastTime
+		s.res.PlayIntervals = append(s.res.PlayIntervals, s.curPlay)
+	}
+	if s.stallOpen {
+		s.res.Stalls = append(s.res.Stalls, Stall{Start: s.stallStart, End: end})
+		s.stallOpen = false
+	}
+	s.res.EndTime = end
+}

@@ -1,0 +1,125 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/services"
+)
+
+// TestStartupBufferProbe checks the request-rejection probe recovers the
+// configured startup buffer duration for representative services.
+func TestStartupBufferProbe(t *testing.T) {
+	cases := []struct {
+		name     string
+		wantSecs float64 // configured startup buffer
+	}{
+		{"H2", 8},  // 2 s segments → ~4 segments
+		{"H3", 9},  // 9 s segments → 1 segment
+		{"D1", 15}, // 5 s segments → 3 segments
+	}
+	for _, tc := range cases {
+		svc := services.ByName(tc.name)
+		segs, secs, err := StartupBuffer(svc, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		t.Logf("%s: starts after %d segments (%.1fs of video)", tc.name, segs, secs)
+		if secs < tc.wantSecs-0.01 || secs > tc.wantSecs+2*svc.Player.StartupBufferSec {
+			t.Errorf("%s: probed %.1fs video, configured startup %.1fs", tc.name, secs, tc.wantSecs)
+		}
+	}
+}
+
+// TestThresholdsProbe checks the on/off analysis recovers pause/resume
+// thresholds within the tolerance of 1 s sampling plus one segment.
+func TestThresholdsProbe(t *testing.T) {
+	for _, name := range []string{"H1", "H5", "D4", "S2"} {
+		svc := services.ByName(name)
+		pause, resume, err := Thresholds(svc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%s: probed pause=%.1fs resume=%.1fs (configured %.0f/%.0f)",
+			name, pause, resume, svc.Player.PauseThresholdSec, svc.Player.ResumeThresholdSec)
+		tol := 2*svc.Media.SegmentDuration + 3
+		if math.Abs(pause-svc.Player.PauseThresholdSec) > tol {
+			t.Errorf("%s: pause probe %.1f vs configured %.0f (tol %.1f)", name, pause, svc.Player.PauseThresholdSec, tol)
+		}
+		if math.Abs(resume-svc.Player.ResumeThresholdSec) > tol {
+			t.Errorf("%s: resume probe %.1f vs configured %.0f (tol %.1f)", name, resume, svc.Player.ResumeThresholdSec, tol)
+		}
+	}
+}
+
+// TestSteadyStateStability checks that D1 is the unstable outlier and a
+// conservative service converges, as in §3.3.3.
+func TestSteadyStateStability(t *testing.T) {
+	d1, err := SteadyState(services.ByName("D1"), 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("D1 @500k: distinct=%d switches=%d", d1.DistinctTracks, d1.Switches)
+	if d1.Switches < 5 {
+		t.Errorf("D1 should oscillate at constant bandwidth, saw %d switches", d1.Switches)
+	}
+	h1, err := SteadyState(services.ByName("H1"), 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("H1 @500k: distinct=%d switches=%d converged=%.0f", h1.DistinctTracks, h1.Switches, h1.ConvergedDeclared)
+	if h1.Switches > 1 {
+		t.Errorf("H1 should converge at constant bandwidth, saw %d switches", h1.Switches)
+	}
+}
+
+// TestTable1FullRows probes two structurally different services end to
+// end and checks the complete row against the paper's Table 1.
+func TestTable1FullRows(t *testing.T) {
+	cases := []struct {
+		name       string
+		segDur     float64
+		sepAudio   bool
+		maxConns   int
+		persistent bool
+		startupSec float64
+		startupMbs float64
+		pause      float64
+		resume     float64
+		stable     bool
+		aggressive bool
+	}{
+		{"H4", 9, false, 1, true, 9, 0.47, 155, 135, true, false},
+		{"D3", 2, true, 3, true, 8, 0.40, 120, 90, true, true},
+	}
+	for _, c := range cases {
+		row, err := Table1(services.ByName(c.name))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if row.SegmentDuration != c.segDur {
+			t.Errorf("%s segdur %v", c.name, row.SegmentDuration)
+		}
+		if row.SeparateAudio != c.sepAudio {
+			t.Errorf("%s sep audio %v", c.name, row.SeparateAudio)
+		}
+		if row.MaxConns != c.maxConns {
+			t.Errorf("%s conns %d, want %d", c.name, row.MaxConns, c.maxConns)
+		}
+		if row.Persistent != c.persistent {
+			t.Errorf("%s persistent %v", c.name, row.Persistent)
+		}
+		if math.Abs(row.StartupBufferSec-c.startupSec) > 2 {
+			t.Errorf("%s startup %v, want %v", c.name, row.StartupBufferSec, c.startupSec)
+		}
+		if math.Abs(row.StartupBitrate-c.startupMbs*1e6) > 2e4 {
+			t.Errorf("%s startup bitrate %v", c.name, row.StartupBitrate)
+		}
+		if math.Abs(row.PauseSec-c.pause) > 10 || math.Abs(row.ResumeSec-c.resume) > 10 {
+			t.Errorf("%s thresholds %v/%v", c.name, row.PauseSec, row.ResumeSec)
+		}
+		if row.Stable != c.stable || row.Aggressive != c.aggressive {
+			t.Errorf("%s stable=%v aggressive=%v", c.name, row.Stable, row.Aggressive)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package proxy is the measurement box of the paper's testbed (§2.2,
+// Figure 2) realised over real HTTP: a forward proxy that relays any
+// client's requests to the origin, optionally shapes the downstream
+// bandwidth with a token bucket (the tc stand-in), and records every
+// exchange as a traffic.Transaction — retaining the bodies of manifest
+// documents so the traffic analyzer can reconstruct the presentation,
+// exactly as the paper's man-in-the-middle proxy did for the commercial
+// apps.
+//
+// Unlike internal/httpplay's client-side shaper, the proxy works with
+// any HTTP client: point a player's proxy setting at it and feed its
+// Log to traffic.Analyze.
+package proxy
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/traffic"
+)
+
+// Recorder is a forward HTTP proxy handler with recording and optional
+// shaping. The zero value is not usable; construct with New.
+type Recorder struct {
+	transport http.RoundTripper
+	rate      func() float64 // bits/s limit; 0 = unshaped
+
+	mu     sync.Mutex
+	start  time.Time
+	log    []traffic.Transaction
+	tokens float64
+	last   time.Time
+}
+
+// New creates a recording proxy. bitsPerSec limits the aggregate
+// downstream rate (0 = unshaped); transport performs the real exchanges
+// (nil = http.DefaultTransport).
+func New(transport http.RoundTripper, bitsPerSec float64) *Recorder {
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	now := time.Now()
+	r := &Recorder{transport: transport, start: now, last: now}
+	r.rate = func() float64 { return bitsPerSec }
+	return r
+}
+
+// Log returns a copy of the recorded transactions, timestamped in
+// seconds since the proxy started.
+func (p *Recorder) Log() []traffic.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]traffic.Transaction(nil), p.log...)
+}
+
+// Reset clears the log and restarts the clock.
+func (p *Recorder) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.log = nil
+	p.start = time.Now()
+}
+
+// ServeHTTP implements the forward proxy: it accepts both absolute-URI
+// requests (standard proxying) and host-relative ones (reverse-proxy
+// style, using the Host header).
+func (p *Recorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	outURL := r.URL
+	if !outURL.IsAbs() {
+		u := *r.URL
+		u.Scheme = "http"
+		u.Host = r.Host
+		outURL = &u
+	}
+	req, err := http.NewRequest(r.Method, outURL.String(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	t0 := time.Now()
+	resp, err := p.transport.RoundTrip(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	p.throttle(len(body))
+	t1 := time.Now()
+
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := w.Write(body); err != nil {
+		return
+	}
+
+	rs, re := parseRange(r.Header.Get("Range"))
+	tx := traffic.Transaction{
+		Start:      t0.Sub(p.start).Seconds(),
+		End:        t1.Sub(p.start).Seconds(),
+		Method:     r.Method,
+		URL:        outURL.Path,
+		RangeStart: rs,
+		RangeEnd:   re,
+		Bytes:      int64(len(body)),
+		Rejected:   resp.StatusCode/100 != 2,
+	}
+	if isDocument(body) {
+		tx.Body = append([]byte(nil), body...)
+	}
+	p.mu.Lock()
+	p.log = append(p.log, tx)
+	p.mu.Unlock()
+}
+
+// throttle enforces the aggregate downstream rate with a debt-based
+// token bucket: the transfer is admitted immediately and the bucket goes
+// negative, then the caller sleeps the debt off — this handles bodies
+// larger than the burst (a classic token-bucket pitfall).
+func (p *Recorder) throttle(n int) {
+	limit := p.rate()
+	if limit <= 0 {
+		return
+	}
+	ratePerSec := limit / 8
+	burst := ratePerSec / 10
+	p.mu.Lock()
+	now := time.Now()
+	p.tokens += now.Sub(p.last).Seconds() * ratePerSec
+	p.last = now
+	if p.tokens > burst {
+		p.tokens = burst
+	}
+	p.tokens -= float64(n)
+	debt := -p.tokens
+	p.mu.Unlock()
+	if debt > 0 {
+		time.Sleep(time.Duration(debt / ratePerSec * float64(time.Second)))
+	}
+}
+
+// isDocument mirrors the analyzer's body sniffing: playlists, MPDs,
+// Smooth manifests and sidx boxes are retained verbatim.
+func isDocument(body []byte) bool {
+	if len(body) >= 8 && bytes.Equal(body[4:8], []byte("sidx")) {
+		return true
+	}
+	head := body
+	if len(head) > 512 {
+		head = head[:512]
+	}
+	s := string(head)
+	return strings.HasPrefix(strings.TrimSpace(s), "#EXTM3U") ||
+		strings.Contains(s, "<MPD") || strings.Contains(s, "<SmoothStreamingMedia") ||
+		strings.Contains(s, "<?xml")
+}
+
+// parseRange reads "bytes=a-b" (-1,-1 when absent or malformed).
+func parseRange(h string) (int64, int64) {
+	if !strings.HasPrefix(h, "bytes=") {
+		return -1, -1
+	}
+	parts := strings.SplitN(strings.TrimPrefix(h, "bytes="), "-", 2)
+	if len(parts) != 2 {
+		return -1, -1
+	}
+	a, err1 := strconv.ParseInt(parts[0], 10, 64)
+	b, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return -1, -1
+	}
+	return a, b
+}

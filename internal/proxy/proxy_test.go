@@ -1,0 +1,150 @@
+package proxy
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/adaptation"
+	"repro/internal/httpplay"
+	"repro/internal/manifest"
+	"repro/internal/media"
+	"repro/internal/origin"
+	"repro/internal/traffic"
+)
+
+// pipeline stands up origin → proxy → live HTTP player and returns the
+// proxy plus the player result — the paper's full apparatus (Figure 2)
+// over real sockets.
+func pipeline(t *testing.T, bitsPerSec float64) (*Recorder, *httpplay.Result) {
+	t.Helper()
+	v, err := media.Generate(media.Config{
+		Name: "px", Duration: 6, SegmentDuration: 2,
+		TargetBitrates: []float64{200e3, 400e3, 800e3},
+		Encoding:       media.VBR, VBRSpread: 2, DeclaredPolicy: media.DeclarePeak,
+		SeparateAudio: true, AudioSegmentDuration: 2,
+		Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	org, err := origin.New(manifest.Build(v, manifest.BuildOptions{
+		Protocol: manifest.DASH, Addressing: manifest.SidxRanges,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(org)
+	t.Cleanup(originSrv.Close)
+
+	rec := New(nil, bitsPerSec)
+	proxySrv := httptest.NewServer(rec)
+	t.Cleanup(proxySrv.Close)
+
+	proxyURL, err := url.Parse(proxySrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)}}
+
+	clock := time.Unix(0, 0)
+	res, err := httpplay.Play(httpplay.Config{
+		ManifestURL:        originSrv.URL + org.Pres.ManifestURL(),
+		Client:             client,
+		Algorithm:          adaptation.Throughput{Factor: 0.75},
+		StartupBufferSec:   2,
+		PauseThresholdSec:  10,
+		ResumeThresholdSec: 5,
+		MaxDuration:        time.Minute,
+		Now:                func() time.Time { return clock },
+		Sleep:              func(d time.Duration) { clock = clock.Add(d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+// TestProxyRecordsAnalyzableTraffic closes the entire loop with a real
+// on-path observer: the analyzer reconstructs exactly the segments the
+// (independent) HTTP player fetched, from the proxy's log alone.
+func TestProxyRecordsAnalyzableTraffic(t *testing.T) {
+	rec, res := pipeline(t, 0)
+	log := rec.Log()
+	if len(log) == 0 {
+		t.Fatal("proxy recorded nothing")
+	}
+	tr, err := traffic.Analyze("px", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Unmatched) != 0 {
+		t.Fatalf("%d unmatched transactions", len(tr.Unmatched))
+	}
+	if len(tr.Segments) != len(res.Downloads) {
+		t.Fatalf("analyzer saw %d segments, player fetched %d", len(tr.Segments), len(res.Downloads))
+	}
+	// Ranged requests were recorded with their ranges.
+	ranged := 0
+	for _, tx := range log {
+		if tx.Ranged() {
+			ranged++
+		}
+	}
+	if ranged == 0 {
+		t.Fatal("no ranged requests recorded for a sidx presentation")
+	}
+}
+
+// TestProxyShaping: the token bucket slows real transfers down.
+func TestProxyShaping(t *testing.T) {
+	payload := make([]byte, 200<<10)
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer upstream.Close()
+	rec := New(nil, 8e6) // 8 Mbit/s → 200 KiB ≈ 205 ms
+	proxySrv := httptest.NewServer(rec)
+	defer proxySrv.Close()
+	proxyURL, _ := url.Parse(proxySrv.URL)
+	client := &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)}}
+
+	start := time.Now()
+	resp, err := client.Get(upstream.URL + "/blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	buf := make([]byte, 32<<10)
+	for {
+		m, err := resp.Body.Read(buf)
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	took := time.Since(start)
+	if n != len(payload) {
+		t.Fatalf("read %d bytes", n)
+	}
+	if took < 100*time.Millisecond {
+		t.Fatalf("proxy shaping too permissive: %v", took)
+	}
+	if txs := rec.Log(); len(txs) != 1 || txs[0].Bytes != int64(len(payload)) {
+		t.Fatalf("log %+v", txs)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	rec, _ := pipeline(t, 0)
+	if len(rec.Log()) == 0 {
+		t.Fatal("expected log entries")
+	}
+	rec.Reset()
+	if len(rec.Log()) != 0 {
+		t.Fatal("reset did not clear the log")
+	}
+}

@@ -1,0 +1,45 @@
+package services
+
+import (
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/qoe"
+)
+
+// TestSmokeAllServices streams every service over a constant 5 Mbit/s
+// link and sanity-checks the session output.
+func TestSmokeAllServices(t *testing.T) {
+	p := netem.Constant("const5", 5e6, 600)
+	for _, svc := range All() {
+		svc := svc
+		t.Run(svc.Name, func(t *testing.T) {
+			res, err := svc.Run(p, 120, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := qoe.FromResult(res)
+			t.Logf("%s: startup=%.2fs stalls=%d/%.1fs avg=%.0f kbit/s played=%.1fs data=%.1f MB switches=%d",
+				svc.Name, rep.StartupDelay, rep.StallCount, rep.StallSec,
+				rep.AvgBitrate/1e3, rep.PlayedSec, rep.DataUsageBytes/1e6, rep.Switches)
+			if rep.StartupDelay < 0 {
+				t.Fatalf("playback never started")
+			}
+			if rep.StartupDelay > 30 {
+				t.Errorf("startup delay %.1fs implausibly high at 5 Mbit/s", rep.StartupDelay)
+			}
+			if rep.StallSec > 20 {
+				t.Errorf("stalled %.1fs at constant 5 Mbit/s", rep.StallSec)
+			}
+			if rep.PlayedSec < 60 {
+				t.Errorf("played only %.1fs of a 120 s session", rep.PlayedSec)
+			}
+			if rep.AvgBitrate <= 0 {
+				t.Errorf("no displayed bitrate recorded")
+			}
+			if rep.DataUsageBytes <= 0 {
+				t.Errorf("no data usage recorded")
+			}
+		})
+	}
+}

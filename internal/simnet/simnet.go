@@ -1,0 +1,372 @@
+// Package simnet is a deterministic fluid-flow network simulator standing
+// in for the paper's testbed (real devices behind a tc-shaped WiFi link).
+//
+// The model: link capacity over time comes from a netem.Profile; each HTTP
+// request is a Transfer on a Conn (a TCP connection). Active transfers
+// share the link max-min fairly, with each connection additionally capped
+// by a TCP slow-start ramp whose window doubles every RTT — so rate caps
+// are piecewise-constant and every completion time is computed exactly, in
+// virtual time, with no goroutines and no wall clock. New connections pay
+// a handshake round trip, every request pays one RTT of first-byte
+// latency, and idle persistent connections re-enter slow start
+// (slow-start-after-idle), which is what separates "persistent" from
+// "non-persistent" services beyond the handshake (§3.2).
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netem"
+)
+
+// Config holds the transport-model parameters.
+type Config struct {
+	// RTT is the client↔server round-trip time in seconds. Cellular RTTs
+	// in the LTE era were ~50–100 ms; the default is 0.07.
+	RTT float64
+	// MSS is the TCP maximum segment size in bytes (default 1460).
+	MSS float64
+	// InitialWindowSegments is TCP's initial congestion window in
+	// segments (default 10, per RFC 6928).
+	InitialWindowSegments float64
+	// HandshakeRTTs is the connection-establishment cost in round trips
+	// before the HTTP request can be sent (default 1 for TCP; use 2 to
+	// approximate TLS 1.2).
+	HandshakeRTTs float64
+	// SlowStartAfterIdle resets the congestion window after the
+	// connection has been idle for IdleResetAfter (default true, like
+	// Linux tcp_slow_start_after_idle).
+	SlowStartAfterIdle bool
+	// IdleResetAfter is the idle duration that triggers a window reset
+	// (default 1 s).
+	IdleResetAfter float64
+	// ConnCapSequence, when non-empty, assigns a static per-connection
+	// rate ceiling (bits/s) to connections in dial order (cycling).
+	// It models heterogeneous per-connection bottlenecks — different
+	// CDN paths or per-flow policers — under which the §3.2 observation
+	// about sub-segment split points becomes visible: a work-conserving
+	// shared link alone makes split points irrelevant.
+	ConnCapSequence []float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTT <= 0 {
+		c.RTT = 0.07
+	}
+	if c.MSS <= 0 {
+		c.MSS = 1460
+	}
+	if c.InitialWindowSegments <= 0 {
+		c.InitialWindowSegments = 10
+	}
+	if c.HandshakeRTTs <= 0 {
+		c.HandshakeRTTs = 1
+	}
+	if c.IdleResetAfter <= 0 {
+		c.IdleResetAfter = 1
+	}
+	return c
+}
+
+// DefaultConfig returns the default transport parameters.
+func DefaultConfig() Config {
+	return Config{SlowStartAfterIdle: true}.withDefaults()
+}
+
+// Transfer is one HTTP request/response exchange delivering Size bytes.
+type Transfer struct {
+	// Conn is the connection carrying the transfer.
+	Conn *Conn
+	// Size is the response body size in bytes.
+	Size float64
+	// Started is the virtual time the request was issued.
+	Started float64
+	// FlowAt is the time the first byte arrives (Started + latency).
+	FlowAt float64
+	// Completed is the time the last byte arrived (valid once Done).
+	Completed float64
+	// Done reports completion.
+	Done bool
+	// Meta carries caller context (e.g. which segment this is).
+	Meta any
+
+	remaining float64
+	rate      float64 // last allocated rate, bytes/s (for inspection)
+}
+
+// Remaining returns the bytes not yet delivered.
+func (t *Transfer) Remaining() float64 { return t.remaining }
+
+// Rate returns the most recently allocated delivery rate in bytes/s.
+func (t *Transfer) Rate() float64 { return t.rate }
+
+// Throughput returns the achieved goodput in bits/s over the whole
+// request/response exchange, including latency — this is what a client's
+// bandwidth estimator observes.
+func (t *Transfer) Throughput() float64 {
+	if !t.Done || t.Completed <= t.Started {
+		return 0
+	}
+	return t.Size * 8 / (t.Completed - t.Started)
+}
+
+// Conn models one TCP connection.
+type Conn struct {
+	net         *Network
+	established bool
+	closed      bool
+	capBps      float64 // slow-start cap in bytes/s; +Inf when steady
+	staticCap   float64 // per-connection ceiling in bytes/s; +Inf when none
+	nextGrow    float64 // next window doubling time (valid while ramping and active)
+	lastActive  float64 // completion time of the last transfer
+	cur         *Transfer
+}
+
+// Busy reports whether a transfer is in flight on the connection.
+func (c *Conn) Busy() bool { return c.cur != nil }
+
+// Established reports whether the TCP handshake has completed (i.e. the
+// connection has carried at least one request).
+func (c *Conn) Established() bool { return c.established }
+
+// InSlowStart reports whether the connection's rate is still ramping.
+func (c *Conn) InSlowStart() bool { return !math.IsInf(c.capBps, 1) }
+
+// Close releases the connection. A non-persistent client closes after
+// every response and dials again for the next request.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.net.removeConn(c)
+}
+
+// Start issues a request for size bytes on the connection. It panics if
+// the connection is busy or closed (a programming error in the caller's
+// scheduler — HTTP/1.1 carries one outstanding request per connection).
+func (c *Conn) Start(size float64, meta any) *Transfer {
+	if c.closed {
+		panic("simnet: Start on closed connection")
+	}
+	if c.cur != nil {
+		panic("simnet: Start on busy connection")
+	}
+	if size < 1 {
+		size = 1
+	}
+	cfg := c.net.cfg
+	now := c.net.now
+	latency := cfg.RTT // request up + first byte down
+	initialCap := cfg.InitialWindowSegments * cfg.MSS / cfg.RTT
+	if !c.established {
+		latency += cfg.HandshakeRTTs * cfg.RTT
+		c.established = true
+		c.capBps = initialCap
+	} else if cfg.SlowStartAfterIdle && now-c.lastActive > cfg.IdleResetAfter {
+		c.capBps = initialCap
+	}
+	tr := &Transfer{
+		Conn:      c,
+		Size:      size,
+		Started:   now,
+		FlowAt:    now + latency,
+		Meta:      meta,
+		remaining: size,
+	}
+	c.cur = tr
+	c.nextGrow = tr.FlowAt + cfg.RTT
+	return tr
+}
+
+// Network is the shared link plus its connections.
+type Network struct {
+	cfg       Config
+	profile   *netem.Profile
+	now       float64
+	conns     []*Conn
+	dialed    int
+	steadyCap float64 // cap beyond which a conn is considered out of slow start
+	delivered float64 // total bytes delivered (for conservation checks)
+}
+
+// New creates a network over the given bandwidth profile.
+func New(cfg Config, p *netem.Profile) *Network {
+	cfg = cfg.withDefaults()
+	n := &Network{cfg: cfg, profile: p}
+	// Once a connection's cap exceeds twice the link's peak rate it can
+	// never be the bottleneck again; stop generating doubling events.
+	n.steadyCap = 2 * p.Max() / 8
+	if n.steadyCap <= 0 {
+		n.steadyCap = math.Inf(1)
+	}
+	return n
+}
+
+// Now returns the current virtual time in seconds.
+func (n *Network) Now() float64 { return n.now }
+
+// Config returns the transport parameters in use.
+func (n *Network) Config() Config { return n.cfg }
+
+// Profile returns the bandwidth profile driving the link.
+func (n *Network) Profile() *netem.Profile { return n.profile }
+
+// Delivered returns the total bytes delivered so far (all transfers).
+func (n *Network) Delivered() float64 { return n.delivered }
+
+// Dial creates a new, not-yet-established connection.
+func (n *Network) Dial() *Conn {
+	c := &Conn{net: n, capBps: math.Inf(1), staticCap: math.Inf(1)}
+	if seq := n.cfg.ConnCapSequence; len(seq) > 0 {
+		c.staticCap = seq[n.dialed%len(seq)] / 8
+	}
+	n.dialed++
+	n.conns = append(n.conns, c)
+	return c
+}
+
+func (n *Network) removeConn(c *Conn) {
+	for i, x := range n.conns {
+		if x == c {
+			n.conns = append(n.conns[:i], n.conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// Step advances virtual time until the earlier of `until` or the first
+// transfer completion(s), and returns the completed transfers (empty when
+// the deadline was reached first). Step with no active transfers simply
+// advances the clock.
+func (n *Network) Step(until float64) []*Transfer {
+	if until < n.now {
+		panic(fmt.Sprintf("simnet: Step backwards from %v to %v", n.now, until))
+	}
+	const epsBytes = 1e-6
+	for n.now < until {
+		// Collect flowing and pending transfers.
+		var flowing []*Transfer
+		next := until
+		for _, c := range n.conns {
+			tr := c.cur
+			if tr == nil {
+				continue
+			}
+			if tr.FlowAt > n.now {
+				if tr.FlowAt < next {
+					next = tr.FlowAt
+				}
+				continue
+			}
+			flowing = append(flowing, tr)
+			if c.InSlowStart() && c.nextGrow < next {
+				next = c.nextGrow
+			}
+		}
+		if b := n.profile.NextBoundary(n.now); b < next {
+			next = b
+		}
+
+		if len(flowing) == 0 {
+			n.now = next
+			n.grow()
+			continue
+		}
+
+		// Allocate rates max-min fairly under the connection caps.
+		capacity := n.profile.At(n.now) / 8 // bytes/s
+		allocate(capacity, flowing)
+
+		// Earliest completion in this constant-rate interval.
+		tEvent := next
+		for _, tr := range flowing {
+			if tr.rate > 0 {
+				if tDone := n.now + tr.remaining/tr.rate; tDone < tEvent {
+					tEvent = tDone
+				}
+			}
+		}
+		if tEvent <= n.now {
+			// Degenerate interval (floating point); nudge forward.
+			tEvent = math.Nextafter(n.now, math.Inf(1))
+		}
+
+		dt := tEvent - n.now
+		var completed []*Transfer
+		for _, tr := range flowing {
+			d := tr.rate * dt
+			if d > tr.remaining {
+				d = tr.remaining
+			}
+			tr.remaining -= d
+			n.delivered += d
+			if tr.remaining <= epsBytes {
+				tr.remaining = 0
+				tr.Done = true
+				tr.Completed = tEvent
+				tr.Conn.cur = nil
+				tr.Conn.lastActive = tEvent
+				completed = append(completed, tr)
+			}
+		}
+		n.now = tEvent
+		n.grow()
+		if len(completed) > 0 {
+			return completed
+		}
+	}
+	return nil
+}
+
+// grow applies slow-start window doubling for connections whose doubling
+// time has arrived.
+func (n *Network) grow() {
+	for _, c := range n.conns {
+		if c.cur == nil || !c.InSlowStart() {
+			continue
+		}
+		for c.nextGrow <= n.now && c.InSlowStart() {
+			c.capBps *= 2
+			c.nextGrow += n.cfg.RTT
+			if c.capBps >= n.steadyCap {
+				c.capBps = math.Inf(1)
+			}
+		}
+	}
+}
+
+// allocate distributes capacity (bytes/s) over the flowing transfers using
+// max-min fairness with per-connection caps (progressive water filling).
+func allocate(capacity float64, flowing []*Transfer) {
+	type item struct {
+		tr  *Transfer
+		cap float64
+	}
+	items := make([]item, len(flowing))
+	for i, tr := range flowing {
+		cap := tr.Conn.capBps
+		if tr.Conn.staticCap < cap {
+			cap = tr.Conn.staticCap
+		}
+		items[i] = item{tr, cap}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].cap < items[j].cap })
+	remainingC := capacity
+	remainingN := len(items)
+	for _, it := range items {
+		share := remainingC / float64(remainingN)
+		r := it.cap
+		if r > share {
+			r = share
+		}
+		if r < 0 {
+			r = 0
+		}
+		it.tr.rate = r
+		remainingC -= r
+		remainingN--
+	}
+}

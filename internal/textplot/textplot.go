@@ -1,0 +1,214 @@
+// Package textplot renders the experiment outputs: aligned text tables
+// (the repository's equivalent of the paper's tables) and small ASCII
+// series plots (its equivalent of the figures).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Note is an optional caption printed under the title.
+	Note string
+	// Header names the columns.
+	Header []string
+	// Rows holds the cells.
+	Rows [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len([]rune(c)); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "_%s_\n\n", t.Note)
+	}
+	row := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	row(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Series renders one named line of an ASCII plot.
+type Series struct {
+	// Name labels the series.
+	Name string
+	// X and Y are the points (equal length).
+	X, Y []float64
+}
+
+// Plot renders series as a crude ASCII chart, good enough to eyeball the
+// figure shapes (oscillation, desync, stalls) in terminal output.
+func Plot(title string, width, height int, series ...Series) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX || maxY <= minY {
+		return title + ": (no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte("*o+x#@")
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = m
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[indexOf(series, s)%len(marks)], s.Name)
+	}
+	fmt.Fprintf(&b, "%8.1f ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "         │%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "%8.1f └%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "          %-10.1f%*s\n", minX, width-10, fmt.Sprintf("%.1f", maxX))
+	return b.String()
+}
+
+func indexOf(series []Series, s Series) int {
+	for i := range series {
+		if series[i].Name == s.Name {
+			return i
+		}
+	}
+	return 0
+}
+
+// Fmt helpers used across experiments.
+
+// Mbps formats bits/s as Mbit/s with 2 decimals.
+func Mbps(bps float64) string { return fmt.Sprintf("%.2f", bps/1e6) }
+
+// Secs formats seconds with 1 decimal.
+func Secs(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// YN formats a boolean as Y/N.
+func YN(v bool) string {
+	if v {
+		return "Y"
+	}
+	return "N"
+}
+
+// Median returns the median of vs (0 for empty input).
+func Median(vs []float64) float64 { return Percentile(vs, 50) }
+
+// Percentile returns the p-th percentile of vs using nearest-rank.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	r := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(r))
+	hi := int(math.Ceil(r))
+	if lo == hi {
+		return s[lo]
+	}
+	f := r - float64(lo)
+	return s[lo]*(1-f) + s[hi]*f
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, v := range vs {
+		t += v
+	}
+	return t / float64(len(vs))
+}

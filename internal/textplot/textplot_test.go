@@ -1,0 +1,101 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "10000")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "a note") {
+		t.Fatalf("missing title/note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, note, header, separator, 2 rows
+	if len(lines) != 6 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Column alignment: "value" starts at the same offset in all rows.
+	hdr := lines[2]
+	col := strings.Index(hdr, "value")
+	for _, row := range lines[4:] {
+		if len(row) < col {
+			t.Fatalf("row %q shorter than header", row)
+		}
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	out := Plot("p", 20, 5, Series{Name: "s", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}})
+	if !strings.Contains(out, "== p ==") || !strings.Contains(out, "s") {
+		t.Fatalf("plot output:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no marks plotted")
+	}
+	if got := Plot("empty", 20, 5); !strings.Contains(got, "no data") {
+		t.Fatalf("empty plot: %q", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	vs := []float64{5, 1, 3, 2, 4}
+	if got := Median(vs); got != 3 {
+		t.Fatalf("median %v", got)
+	}
+	if got := Percentile(vs, 0); got != 1 {
+		t.Fatalf("p0 %v", got)
+	}
+	if got := Percentile(vs, 100); got != 5 {
+		t.Fatalf("p100 %v", got)
+	}
+	if got := Percentile(vs, 50); got != 3 {
+		t.Fatalf("p50 %v", got)
+	}
+	if got := Percentile([]float64{1, 2}, 50); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("interpolated p50 %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile %v", got)
+	}
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Fatalf("mean %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("empty mean %v", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Mbps(1.5e6); got != "1.50" {
+		t.Errorf("Mbps %q", got)
+	}
+	if got := Secs(1.25); got != "1.2" {
+		t.Errorf("Secs %q", got)
+	}
+	if got := Pct(0.256); got != "25.6%" {
+		t.Errorf("Pct %q", got)
+	}
+	if YN(true) != "Y" || YN(false) != "N" {
+		t.Error("YN")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := &Table{Title: "m", Note: "n", Header: []string{"a", "b"}}
+	tb.AddRow("x|y", "2")
+	out := tb.Markdown()
+	for _, want := range []string{"### m", "_n_", "| a | b |", "| --- | --- |", `x\|y`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,511 @@
+// Package traffic implements the paper's traffic analyzer (§2.3): given
+// the HTTP transactions observed between a client and an origin, it
+// recognises HAS manifest documents (HLS playlists, DASH MPDs with sidx
+// boxes, SmoothStreaming manifests), reconstructs the presentation, and
+// maps every media request — by URL or byte range — to a (track, index)
+// segment download with its timing, declared bitrate, duration and size.
+//
+// Like the paper's man-in-the-middle proxy, the analyzer relies only on
+// standard HAS protocol structure, never on service-specific URL patterns,
+// so the identical code handles all twelve service models.
+package traffic
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/manifest"
+	"repro/internal/manifest/dash"
+	"repro/internal/manifest/hls"
+	"repro/internal/manifest/sidx"
+	"repro/internal/manifest/smooth"
+	"repro/internal/media"
+)
+
+// Transaction is one observed HTTP exchange.
+type Transaction struct {
+	// Start and End are the request issue and response completion times
+	// in seconds.
+	Start, End float64
+	// Method is the HTTP method ("GET" or "HEAD").
+	Method string
+	// URL is the request path.
+	URL string
+	// RangeStart/RangeEnd give the Range header bytes; both are -1 when
+	// the request was not ranged.
+	RangeStart, RangeEnd int64
+	// Bytes is the response body size actually transferred.
+	Bytes int64
+	// Body holds the response body for document requests (manifests,
+	// playlists, segment indexes); nil for media payloads, which the
+	// analyzer identifies by shape alone.
+	Body []byte
+	// Rejected marks a request the origin refused (used by the
+	// request-rejection probe, §3.3.1).
+	Rejected bool
+}
+
+// Ranged reports whether the transaction used a byte range.
+func (t *Transaction) Ranged() bool { return t.RangeStart >= 0 }
+
+// SegmentDownload is one media segment recovered from the traffic.
+type SegmentDownload struct {
+	// Type is media.TypeVideo or media.TypeAudio.
+	Type media.MediaType
+	// Track is the ladder index (0 = lowest declared bitrate).
+	Track int
+	// Index is the segment position within the track.
+	Index int
+	// Declared is the track's declared bitrate in bits/s.
+	Declared float64
+	// Duration is the segment's media duration in seconds.
+	Duration float64
+	// MediaStart is the segment's media start time in seconds.
+	MediaStart float64
+	// Bytes is the transferred size.
+	Bytes int64
+	// Start and End are the download's wall-clock interval.
+	Start, End float64
+}
+
+// Result is the analyzer's output for one session.
+type Result struct {
+	// Presentation is the reconstructed content description (may be
+	// partial for HLS when not every media playlist was fetched).
+	Presentation *manifest.Presentation
+	// Segments lists recovered segment downloads in start-time order.
+	Segments []SegmentDownload
+	// Unmatched lists media transactions that could not be mapped.
+	Unmatched []Transaction
+}
+
+// segKey identifies a segment by URL or by (URL, offset).
+type segKey struct {
+	url    string
+	offset int64
+}
+
+type segInfo struct {
+	typ        media.MediaType
+	track      int
+	index      int
+	declared   float64
+	duration   float64
+	mediaStart float64
+}
+
+// Analyze reconstructs segment downloads from a transaction log.
+func Analyze(name string, txs []Transaction) (*Result, error) {
+	res := &Result{}
+	index := map[segKey]segInfo{}
+
+	// Pass 1: find documents and build the URL/range → segment index.
+	var masterBody string
+	mediaPlaylists := map[string]string{}
+	var mpdBody []byte
+	sidxBodies := map[string][]byte{}
+	var smoothBody []byte
+	for _, tx := range txs {
+		if tx.Body == nil {
+			continue
+		}
+		switch sniff(tx.Body) {
+		case docHLSMaster:
+			masterBody = string(tx.Body)
+		case docHLSMedia:
+			mediaPlaylists[tx.URL] = string(tx.Body)
+		case docMPD:
+			mpdBody = tx.Body
+		case docSmooth:
+			smoothBody = tx.Body
+			// SmoothStreaming fragment URLs are resolved relative to the
+			// manifest location, so the presentation name comes from the
+			// observed manifest URL, not from the caller.
+			if base := firstPathElement(tx.URL); base != "" {
+				name = base
+			}
+		case docSidx:
+			sidxBodies[tx.URL] = tx.Body
+		}
+	}
+
+	switch {
+	case masterBody != "":
+		p, err := assembleHLS(name, masterBody, mediaPlaylists)
+		if err != nil {
+			return nil, err
+		}
+		res.Presentation = p
+	case mpdBody != nil:
+		p, err := dash.Decode(name, mpdBody, sidxBodies)
+		if err != nil {
+			return nil, err
+		}
+		res.Presentation = p
+	case smoothBody != nil:
+		p, err := smooth.Decode(name, smoothBody)
+		if err != nil {
+			return nil, err
+		}
+		res.Presentation = p
+	case len(sidxBodies) > 0:
+		// D3's case (§2.3): the MPD is encrypted at the application
+		// layer, but the Segment Index boxes are not — reconstruct the
+		// presentation from the sidx fetches alone, using the peak
+		// actual segment bitrate as the declared bitrate (footnote 4 of
+		// the paper: "we use the peak value of the actual segment
+		// bitrates ... as the declared bitrate").
+		p, err := fromSidxOnly(name, txs, sidxBodies)
+		if err != nil {
+			return nil, err
+		}
+		res.Presentation = p
+	default:
+		return nil, fmt.Errorf("traffic: no manifest observed in %d transactions", len(txs))
+	}
+	indexPresentation(res.Presentation, index)
+
+	// Pass 2: map media transactions. Exact URL/offset matches come from
+	// the index; ranged requests that start mid-segment (sub-segment
+	// splitting, D3's design) are resolved by byte containment and the
+	// parts of one segment are merged back together.
+	ranges := rangeIndex(res.Presentation)
+	type aggKey struct {
+		typ          media.MediaType
+		track, index int
+		epoch        int
+	}
+	agg := map[aggKey]*SegmentDownload{}
+	lastEpoch := map[[3]int]int{}
+	for _, tx := range txs {
+		if tx.Body != nil || tx.Method == "HEAD" || tx.Rejected {
+			continue
+		}
+		key := segKey{url: tx.URL, offset: -1}
+		if tx.Ranged() {
+			key.offset = tx.RangeStart
+		}
+		info, ok := index[key]
+		if !ok && tx.Ranged() {
+			info, ok = ranges.lookup(tx.URL, tx.RangeStart)
+		}
+		if !ok {
+			res.Unmatched = append(res.Unmatched, tx)
+			continue
+		}
+		// Parts of the same segment fetched close together merge into
+		// one download; a re-download later (segment replacement) gets
+		// its own record (a fresh epoch).
+		id := [3]int{int(info.typ), info.track, info.index}
+		k := aggKey{info.typ, info.track, info.index, lastEpoch[id]}
+		if cur, ok := agg[k]; ok && tx.Start <= cur.End+1 {
+			cur.Bytes += tx.Bytes
+			if tx.End > cur.End {
+				cur.End = tx.End
+			}
+			if tx.Start < cur.Start {
+				cur.Start = tx.Start
+			}
+			continue
+		} else if ok {
+			lastEpoch[id]++
+			k.epoch = lastEpoch[id]
+		}
+		agg[k] = &SegmentDownload{
+			Type:       info.typ,
+			Track:      info.track,
+			Index:      info.index,
+			Declared:   info.declared,
+			Duration:   info.duration,
+			MediaStart: info.mediaStart,
+			Bytes:      tx.Bytes,
+			Start:      tx.Start,
+			End:        tx.End,
+		}
+	}
+	for _, s := range agg {
+		res.Segments = append(res.Segments, *s)
+	}
+	sort.SliceStable(res.Segments, func(i, j int) bool {
+		if res.Segments[i].Start != res.Segments[j].Start {
+			return res.Segments[i].Start < res.Segments[j].Start
+		}
+		return res.Segments[i].Index < res.Segments[j].Index
+	})
+	return res, nil
+}
+
+// byteIndex resolves (mediaURL, offset) → segment by containment.
+type byteIndex struct {
+	byURL map[string][]rangeEntry
+}
+
+type rangeEntry struct {
+	start, end int64 // [start, end)
+	info       segInfo
+}
+
+func rangeIndex(p *manifest.Presentation) *byteIndex {
+	bi := &byteIndex{byURL: map[string][]rangeEntry{}}
+	add := func(rs []*manifest.Rendition, typ media.MediaType) {
+		for _, r := range rs {
+			if r.MediaURL == "" {
+				continue
+			}
+			for i, s := range r.Segments {
+				bi.byURL[r.MediaURL] = append(bi.byURL[r.MediaURL], rangeEntry{
+					start: s.Offset, end: s.Offset + s.Length,
+					info: segInfo{
+						typ: typ, track: r.ID, index: i,
+						declared: r.DeclaredBitrate, duration: s.Duration, mediaStart: s.Start,
+					},
+				})
+			}
+		}
+	}
+	add(p.Video, media.TypeVideo)
+	add(p.Audio, media.TypeAudio)
+	for _, entries := range bi.byURL {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].start < entries[j].start })
+	}
+	return bi
+}
+
+func (bi *byteIndex) lookup(url string, offset int64) (segInfo, bool) {
+	entries := bi.byURL[url]
+	lo := sort.Search(len(entries), func(i int) bool { return entries[i].end > offset })
+	if lo < len(entries) && entries[lo].start <= offset {
+		return entries[lo].info, true
+	}
+	return segInfo{}, false
+}
+
+// indexPresentation fills the lookup table from a decoded presentation.
+func indexPresentation(p *manifest.Presentation, index map[segKey]segInfo) {
+	add := func(rs []*manifest.Rendition, typ media.MediaType) {
+		for _, r := range rs {
+			for i, s := range r.Segments {
+				key := segKey{url: s.URL, offset: -1}
+				if s.URL == "" {
+					key = segKey{url: r.MediaURL, offset: s.Offset}
+				} else if s.Length > 0 {
+					key.offset = s.Offset
+				}
+				index[key] = segInfo{
+					typ:        typ,
+					track:      r.ID,
+					index:      i,
+					declared:   r.DeclaredBitrate,
+					duration:   s.Duration,
+					mediaStart: s.Start,
+				}
+			}
+		}
+	}
+	add(p.Video, media.TypeVideo)
+	add(p.Audio, media.TypeAudio)
+}
+
+// assembleHLS reconstructs a presentation from a master playlist plus the
+// subset of media playlists that were actually fetched. Track IDs follow
+// the full ladder from the master (sorted ascending by BANDWIDTH), so a
+// track keeps its identity even when its siblings were never streamed.
+func assembleHLS(name, master string, mediaBodies map[string]string) (*manifest.Presentation, error) {
+	vars, err := hls.ParseMaster(master)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(vars, func(i, j int) bool { return vars[i].Bandwidth < vars[j].Bandwidth })
+	p := &manifest.Presentation{Name: name, Protocol: manifest.HLS, Addressing: manifest.SeparateFiles}
+	for id, v := range vars {
+		r := &manifest.Rendition{
+			ID:              id,
+			Type:            media.TypeVideo,
+			DeclaredBitrate: v.Bandwidth,
+			AverageBitrate:  v.AverageBandwidth,
+			Width:           v.Width,
+			Height:          v.Height,
+			PlaylistURL:     v.URI,
+		}
+		if body, ok := mediaBodies[v.URI]; ok {
+			segs, err := hls.ParseMedia(body)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: %s: %w", v.URI, err)
+			}
+			start := 0.0
+			for _, s := range segs {
+				r.Segments = append(r.Segments, manifest.Segment{
+					URL: s.URI, Offset: s.Offset, Length: s.Length,
+					Duration: s.Duration, Start: start,
+				})
+				start += s.Duration
+				if s.Duration > r.SegmentDuration {
+					r.SegmentDuration = s.Duration
+				}
+			}
+			if start > p.Duration {
+				p.Duration = start
+			}
+		}
+		p.Video = append(p.Video, r)
+	}
+	return p, nil
+}
+
+// firstPathElement returns "a" for "/a/b/c".
+func firstPathElement(url string) string {
+	s := strings.TrimPrefix(url, "/")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// fromSidxOnly rebuilds a DASH presentation when the MPD is opaque: each
+// sidx fetch reveals one track's segment sizes/durations and byte layout
+// (segments start right after the indexed region). Tracks are ordered by
+// average actual bitrate; video/audio are told apart by magnitude.
+func fromSidxOnly(name string, txs []Transaction, sidxBodies map[string][]byte) (*manifest.Presentation, error) {
+	type trackInfo struct {
+		url  string
+		rend *manifest.Rendition
+		avg  float64
+		cv   float64 // coefficient of variation of segment sizes
+	}
+	var tracks []trackInfo
+	// Find each sidx transaction to learn where the indexed region ends
+	// (segments begin at RangeEnd+1+first_offset).
+	indexEnd := map[string]int64{}
+	for _, tx := range txs {
+		if tx.Body != nil && sniff(tx.Body) == docSidx && tx.Ranged() {
+			indexEnd[tx.URL] = tx.RangeEnd
+		}
+	}
+	var totalDur float64
+	for url, body := range sidxBodies {
+		box, err := sidx.Decode(body)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: sidx for %s: %w", url, err)
+		}
+		r := &manifest.Rendition{Type: media.TypeVideo, MediaURL: url}
+		off := indexEnd[url] + 1 + int64(box.FirstOffset)
+		start := 0.0
+		peak, bytes, dur := 0.0, 0.0, 0.0
+		for _, ref := range box.References {
+			d := float64(ref.SubsegmentDuration) / float64(box.Timescale)
+			r.Segments = append(r.Segments, manifest.Segment{
+				Offset: off, Length: int64(ref.ReferencedSize),
+				Size: int64(ref.ReferencedSize), Duration: d, Start: start,
+			})
+			if rate := float64(ref.ReferencedSize) * 8 / d; rate > peak {
+				peak = rate
+			}
+			bytes += float64(ref.ReferencedSize)
+			dur += d
+			if d > r.SegmentDuration {
+				r.SegmentDuration = d
+			}
+			off += int64(ref.ReferencedSize)
+			start += d
+		}
+		r.DeclaredBitrate = peak // footnote 4: peak actual as declared
+		if start > totalDur {
+			totalDur = start
+		}
+		mean := bytes / float64(len(box.References))
+		varSum := 0.0
+		for _, ref := range box.References {
+			d := float64(ref.ReferencedSize) - mean
+			varSum += d * d
+		}
+		cv := 0.0
+		if mean > 0 && len(box.References) > 1 {
+			cv = math.Sqrt(varSum/float64(len(box.References))) / mean
+		}
+		tracks = append(tracks, trackInfo{url: url, rend: r, avg: bytes * 8 / dur, cv: cv})
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i].avg < tracks[j].avg })
+	p := &manifest.Presentation{Name: name, Protocol: manifest.DASH, Addressing: manifest.SidxRanges, Duration: totalDur}
+	for _, tr := range tracks {
+		// Audio: low bitrate AND near-constant segment sizes (AAC is
+		// effectively CBR, while VBR video varies a lot even at the
+		// bottom rung) — the cue an analyst uses when bitrates collide.
+		if tr.avg < 150e3 && tr.cv < 0.08 {
+			tr.rend.Type = media.TypeAudio
+			tr.rend.ID = len(p.Audio)
+			p.Audio = append(p.Audio, tr.rend)
+			continue
+		}
+		tr.rend.ID = len(p.Video)
+		p.Video = append(p.Video, tr.rend)
+	}
+	if len(p.Video) == 0 {
+		return nil, fmt.Errorf("traffic: sidx-only reconstruction found no video tracks")
+	}
+	return p, nil
+}
+
+type docKind int
+
+const (
+	docUnknown docKind = iota
+	docHLSMaster
+	docHLSMedia
+	docMPD
+	docSmooth
+	docSidx
+)
+
+// sniff classifies a document body by content, never by URL.
+func sniff(body []byte) docKind {
+	if len(body) >= 8 && bytes.Equal(body[4:8], []byte("sidx")) {
+		return docSidx
+	}
+	s := string(body)
+	switch {
+	case strings.HasPrefix(strings.TrimSpace(s), "#EXTM3U"):
+		if strings.Contains(s, "#EXT-X-STREAM-INF") {
+			return docHLSMaster
+		}
+		return docHLSMedia
+	case strings.Contains(s, "<MPD"):
+		return docMPD
+	case strings.Contains(s, "<SmoothStreamingMedia"):
+		return docSmooth
+	}
+	return docUnknown
+}
+
+// OnOff describes one pause in the download activity of a session, used
+// to recover the pausing/resuming thresholds of the download controller
+// (§3.3.2): downloads stop at Start and resume at End.
+type OnOff struct {
+	// Start is when the last transaction before the gap completed.
+	Start float64
+	// End is when the first transaction after the gap was issued.
+	End float64
+}
+
+// DownloadGaps returns the idle gaps longer than minGap seconds between
+// consecutive segment downloads.
+func DownloadGaps(segs []SegmentDownload, minGap float64) []OnOff {
+	if len(segs) == 0 {
+		return nil
+	}
+	byStart := append([]SegmentDownload(nil), segs...)
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
+	var out []OnOff
+	busyUntil := byStart[0].End
+	for _, s := range byStart[1:] {
+		if s.Start-busyUntil >= minGap {
+			out = append(out, OnOff{Start: busyUntil, End: s.Start})
+		}
+		if s.End > busyUntil {
+			busyUntil = s.End
+		}
+	}
+	return out
+}

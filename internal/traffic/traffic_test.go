@@ -1,0 +1,67 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeNoManifest(t *testing.T) {
+	if _, err := Analyze("x", []Transaction{{URL: "/x/seg.ts", Bytes: 10}}); err == nil {
+		t.Fatal("expected error without manifest")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	cases := []struct {
+		body []byte
+		want docKind
+	}{
+		{[]byte("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=1\nx\n"), docHLSMaster},
+		{[]byte("#EXTM3U\n#EXTINF:2,\nseg.ts\n"), docHLSMedia},
+		{[]byte("<?xml?><MPD></MPD>"), docMPD},
+		{[]byte("<?xml?><SmoothStreamingMedia/>"), docSmooth},
+		{append([]byte{0, 0, 0, 20}, []byte("sidx0000000000000000")...), docSidx},
+		{[]byte("random payload"), docUnknown},
+	}
+	for i, c := range cases {
+		if got := sniff(c.body); got != c.want {
+			t.Errorf("case %d: sniff = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDownloadGaps(t *testing.T) {
+	segs := []SegmentDownload{
+		{Start: 0, End: 2},
+		{Start: 2, End: 5},
+		{Start: 20, End: 22}, // 15 s gap
+		{Start: 22.5, End: 24},
+		{Start: 60, End: 61}, // 36 s gap
+	}
+	gaps := DownloadGaps(segs, 2)
+	if len(gaps) != 2 {
+		t.Fatalf("%d gaps, want 2", len(gaps))
+	}
+	if math.Abs(gaps[0].Start-5) > 1e-9 || math.Abs(gaps[0].End-20) > 1e-9 {
+		t.Fatalf("gap 0 = %+v", gaps[0])
+	}
+	if math.Abs(gaps[1].Start-24) > 1e-9 || math.Abs(gaps[1].End-60) > 1e-9 {
+		t.Fatalf("gap 1 = %+v", gaps[1])
+	}
+	if got := DownloadGaps(nil, 2); got != nil {
+		t.Fatal("gaps of empty input")
+	}
+}
+
+func TestFirstPathElement(t *testing.T) {
+	cases := map[string]string{
+		"/a/b/c": "a",
+		"/x":     "x",
+		"y/z":    "y",
+	}
+	for in, want := range cases {
+		if got := firstPathElement(in); got != want {
+			t.Errorf("firstPathElement(%q) = %q", in, got)
+		}
+	}
+}
