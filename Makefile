@@ -1,0 +1,44 @@
+# Local dev and CI invoke the same targets (.github/workflows/ci.yml
+# calls make), so a green `make build vet fmt-check test race` locally
+# means a green PR.
+
+GO ?= go
+
+.PHONY: build vet fmt fmt-check test race bench bench-smoke report
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# -count=1 defeats the test cache so the race detector actually re-runs
+# the concurrent paths (determinism + origin-cache stress tests).
+race:
+	$(GO) test -race -count=1 ./...
+
+# Every benchmark, one iteration each: validates they all still compile
+# and run without letting timing noise gate anything.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# The CI smoke subset: one real experiment benchmark plus a full
+# parallel-engine report regeneration.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkFig8|BenchmarkReportAllParallel' -benchtime 1x -run '^$$' ./...
+
+# Regenerate REPORT.md on all cores (vodreport -workers N to override).
+report:
+	$(GO) run ./cmd/vodreport -out REPORT.md

@@ -6,6 +6,8 @@
 package vod
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -63,6 +65,27 @@ func BenchmarkAblAlgorithms(b *testing.B) { benchExperiment(b, "abl_algorithms")
 func BenchmarkAblRecovery(b *testing.B)   { benchExperiment(b, "abl_recovery") }
 func BenchmarkAblAbandon(b *testing.B)    { benchExperiment(b, "abl_abandon") }
 func BenchmarkAblFairness(b *testing.B)   { benchExperiment(b, "abl_fairness") }
+
+// benchReportAll regenerates the entire report (every registered
+// experiment) per iteration on the parallel engine with the given worker
+// count. The pair below tracks the serial-vs-parallel speedup as a
+// number; the first iteration also warms the shared origin caches, so
+// per-iteration numbers measure session simulation, not content
+// encoding.
+func benchReportAll(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(context.Background(), experiments.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReportAll(b *testing.B) { benchReportAll(b, 1) }
+
+func BenchmarkReportAllParallel(b *testing.B) {
+	benchReportAll(b, runtime.GOMAXPROCS(0))
+}
 
 // BenchmarkLiveSession measures a 4-minute live session (playlist
 // polling + edge tracking) on the simulator.

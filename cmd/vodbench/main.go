@@ -1,25 +1,30 @@
 // Command vodbench regenerates the paper's tables and figures from the
-// simulated testbed.
+// simulated testbed. Multiple experiments run on the parallel engine;
+// output stays in paper order for any worker count.
 //
 // Usage:
 //
 //	vodbench -list
 //	vodbench -exp fig8
-//	vodbench -exp all
+//	vodbench -exp fig8,fig9
+//	vodbench -exp all -workers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"runtime"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids")
-	exp := flag.String("exp", "", "experiment id (fig3..fig15, table1, table2, sr_whatif, or 'all')")
+	exp := flag.String("exp", "", "experiment id(s), comma-separated (fig3..fig15, table1, table2, sr_whatif, or 'all')")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments (1 = serial)")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -33,30 +38,32 @@ func main() {
 		return
 	}
 
-	var todo []experiments.Experiment
-	if *exp == "all" {
-		todo = experiments.All()
-	} else {
-		e := experiments.ByID(*exp)
-		if e == nil {
-			fmt.Fprintf(os.Stderr, "vodbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+	var ids []string
+	if *exp != "all" {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if experiments.ByID(id) == nil {
+				fmt.Fprintf(os.Stderr, "vodbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
 		}
-		todo = []experiments.Experiment{*e}
 	}
 
-	for _, e := range todo {
-		start := time.Now()
-		tables, plots, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "vodbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Printf("### %s — %s (%.1fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
-		for _, t := range tables {
+	results, err := experiments.RunAll(context.Background(), experiments.Options{
+		Workers: *workers,
+		IDs:     ids, // nil = all, in paper order
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Printf("### %s — %s (%.1fs, %.1f MB alloc)\n\n", r.ID, r.Title, r.Elapsed.Seconds(), float64(r.AllocBytes)/1e6)
+		for _, t := range r.Tables {
 			fmt.Println(t.String())
 		}
-		for _, p := range plots {
+		for _, p := range r.Plots {
 			fmt.Println(p)
 		}
 	}

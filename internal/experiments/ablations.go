@@ -260,23 +260,40 @@ func AblAlgorithms() ([]*textplot.Table, []string, error) {
 		Title:  "Ablation — adaptation algorithms (ExoPlayer-model player, 14 profiles, medians)",
 		Header: []string{"algorithm", "avg bitrate (Mbps)", "stall s", "switches", "low-track share (5 low profiles)"},
 	}
-	for _, a := range algos {
+	type job struct{ ai, pi int }
+	var jobs []job
+	for ai := range algos {
+		for pi := range cellular() {
+			jobs = append(jobs, job{ai, pi})
+		}
+	}
+	type stats struct{ rate, stall, switches, low float64 }
+	perRun, err := sweep(jobs, func(j job) (stats, error) {
+		a := algos[j.ai]
+		cfg := exoPlayer(a.name)
+		cfg.Algorithm = a.mk()
+		if a.est != nil {
+			cfg.Estimator = a.est()
+		}
+		res, err := services.RunWithOrigin(cfg, org, cellular()[j.pi], 600, nil)
+		if err != nil {
+			return stats{}, err
+		}
+		rep := qoe.FromResult(res)
+		return stats{rep.AvgBitrate, rep.StallSec, float64(rep.Switches), lowTrackShare(res, 2)}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	nProfiles := len(cellular())
+	for ai, a := range algos {
 		var rate, stall, switches, low []float64
-		for _, p := range cellular() {
-			cfg := exoPlayer(a.name)
-			cfg.Algorithm = a.mk()
-			if a.est != nil {
-				cfg.Estimator = a.est()
-			}
-			res, err := services.RunWithOrigin(cfg, org, p, 600, nil)
-			if err != nil {
-				return nil, nil, err
-			}
-			rep := qoe.FromResult(res)
-			rate = append(rate, rep.AvgBitrate)
-			stall = append(stall, rep.StallSec)
-			switches = append(switches, float64(rep.Switches))
-			low = append(low, lowTrackShare(res, 2))
+		for pi := 0; pi < nProfiles; pi++ {
+			s := perRun[ai*nProfiles+pi]
+			rate = append(rate, s.rate)
+			stall = append(stall, s.stall)
+			switches = append(switches, s.switches)
+			low = append(low, s.low)
 		}
 		t.AddRow(a.name,
 			textplot.Mbps(textplot.Median(rate)),
@@ -435,11 +452,12 @@ func AblFairness() ([]*textplot.Table, []string, error) {
 		return nil, nil, err
 	}
 	const linkBps = 4.5e6
-	algos := []struct {
+	type algo struct {
 		name string
 		mk   func() adaptation.Algorithm
 		est  func() adaptation.Estimator
-	}{
+	}
+	algos := []algo{
 		{"throughput 0.75 (declared)", func() adaptation.Algorithm { return adaptation.Throughput{Factor: 0.75} }, nil},
 		{"throughput 0.9 (actual)", func() adaptation.Algorithm { return adaptation.Throughput{Factor: 0.9, UseActual: true} }, nil},
 		{"ExoPlayer hysteresis", func() adaptation.Algorithm { return adaptation.DefaultHysteresis() }, nil},
@@ -453,7 +471,7 @@ func AblFairness() ([]*textplot.Table, []string, error) {
 		Header: []string{"algorithm", "mean avg bitrate (Mbps)", "Jain fairness", "link utilisation",
 			"switches/player", "stall s/player"},
 	}
-	for _, a := range algos {
+	rows, err := sweep(algos, func(a algo) ([]string, error) {
 		net := simnet.New(simnet.DefaultConfig(), netem.Constant("shared", linkBps, 600))
 		group := player.NewGroup()
 		for i := 0; i < 3; i++ {
@@ -471,10 +489,10 @@ func AblFairness() ([]*textplot.Table, []string, error) {
 			cfg.ResumeThresholdSec = cfg.PauseThresholdSec - 15
 			sess, err := player.NewSession(cfg, org, net)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			if err := group.Add(sess); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
 		results := group.Run()
@@ -491,13 +509,20 @@ func AblFairness() ([]*textplot.Table, []string, error) {
 				endTime = res.EndTime
 			}
 		}
-		t.AddRow(a.name,
+		return []string{
+			a.name,
 			textplot.Mbps(textplot.Mean(rates)),
 			fmt.Sprintf("%.3f", jain(rates)),
-			textplot.Pct(bytes*8/(endTime*linkBps)),
+			textplot.Pct(bytes * 8 / (endTime * linkBps)),
 			fmt.Sprintf("%.0f", textplot.Mean(switches)),
 			textplot.Secs(textplot.Mean(stalls)),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*textplot.Table{t}, nil, nil
 }

@@ -164,20 +164,33 @@ func Fig8() ([]*textplot.Table, []string, error) {
 // to under constant bandwidth. Aggressive services (D1, D3, S1) track
 // y≈x; the conservative cluster stays below 0.75x; D2 below ~0.5–0.6x.
 func Fig9() ([]*textplot.Table, []string, error) {
-	sweep := []float64{0.5e6, 1e6, 1.5e6, 2e6, 2.5e6, 3e6, 3.5e6, 4e6}
+	bws := []float64{0.5e6, 1e6, 1.5e6, 2e6, 2.5e6, 3e6, 3.5e6, 4e6}
 	names := []string{"H1", "H3", "D1", "D2", "D3", "S1"}
 	t := &textplot.Table{
 		Title:  "Figure 9 — converged declared bitrate (Mbps) vs constant bandwidth",
 		Header: append([]string{"bandwidth (Mbps)"}, names...),
 	}
-	ratio := map[string][]float64{}
-	for _, bw := range sweep {
-		row := []string{textplot.Mbps(bw)}
+	type cell struct {
+		bw   float64
+		name string
+	}
+	var cells []cell
+	for _, bw := range bws {
 		for _, n := range names {
-			st, err := probe.SteadyState(services.ByName(n), bw)
-			if err != nil {
-				return nil, nil, err
-			}
+			cells = append(cells, cell{bw, n})
+		}
+	}
+	states, err := sweep(cells, func(c cell) (probe.Steady, error) {
+		return probe.SteadyState(services.ByName(c.name), c.bw)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ratio := map[string][]float64{}
+	for bi, bw := range bws {
+		row := []string{textplot.Mbps(bw)}
+		for ni, n := range names {
+			st := states[bi*len(names)+ni]
 			row = append(row, textplot.Mbps(st.ConvergedDeclared))
 			ratio[n] = append(ratio[n], st.ConvergedDeclared/bw)
 		}

@@ -61,13 +61,21 @@ func All() []Experiment {
 	}
 }
 
+// byID indexes the registry once; ByID is called per lookup on hot
+// paths (every benchmark iteration) and must not rebuild All().
+var byID = sync.OnceValue(func() map[string]Experiment {
+	all := All()
+	m := make(map[string]Experiment, len(all))
+	for _, e := range all {
+		m[e.ID] = e
+	}
+	return m
+})
+
 // ByID returns the experiment with the given id, or nil.
 func ByID(id string) *Experiment {
-	for _, e := range All() {
-		if e.ID == id {
-			e := e
-			return &e
-		}
+	if e, ok := byID()[id]; ok {
+		return &e
 	}
 	return nil
 }
@@ -75,24 +83,13 @@ func ByID(id string) *Experiment {
 // cellular caches the 14 synthetic traces.
 var cellular = sync.OnceValue(netem.CellularSet)
 
-// originCache avoids re-encoding a service's content per profile.
-var (
-	originMu    sync.Mutex
-	originCache = map[string]*origin.Origin{}
-)
+// originCache avoids re-encoding a service's content per profile. Each
+// origin is built exactly once even when concurrent experiments request
+// it, and building one service's origin does not block another's.
+var originCache keyedOnce[string, *origin.Origin]
 
 func serviceOrigin(svc *services.Service) (*origin.Origin, error) {
-	originMu.Lock()
-	defer originMu.Unlock()
-	if o, ok := originCache[svc.Name]; ok {
-		return o, nil
-	}
-	o, err := svc.Origin()
-	if err != nil {
-		return nil, err
-	}
-	originCache[svc.Name] = o
-	return o, nil
+	return originCache.get(svc.Name, svc.Origin)
 }
 
 // run streams a stock service over a profile for dur seconds.
@@ -106,11 +103,27 @@ func run(svc *services.Service, p *netem.Profile, dur float64) (*player.Result, 
 
 // ---- the ExoPlayer-model player used by §4's best-practice experiments ----
 
+// exoCache deduplicates the §4 test streams across experiments: several
+// artifacts (Fig11, AblSRCap, ...) request the same (segDur, seed) pair,
+// and the content is deterministic, so each is generated once.
+type exoKey struct {
+	segDur float64
+	seed   int64
+}
+
+var exoCache keyedOnce[exoKey, *origin.Origin]
+
 // exoContent builds the 7-track VBR test stream of §4.2/§4.1.3 (the paper
 // VBR-encodes Sintel into 7 tracks with peak = 2× average and plays it in
 // a modified ExoPlayer). DASH/sidx addressing exposes per-segment sizes
 // so the actual-bitrate-aware variants have something to read.
 func exoContent(segDur float64, seed int64) (*origin.Origin, error) {
+	return exoCache.get(exoKey{segDur, seed}, func() (*origin.Origin, error) {
+		return buildExoContent(segDur, seed)
+	})
+}
+
+func buildExoContent(segDur float64, seed int64) (*origin.Origin, error) {
 	cfg := media.Config{
 		Name: "sintel", Duration: 1200, SegmentDuration: segDur,
 		TargetBitrates: []float64{200e3, 350e3, 600e3, 1.0e6, 1.7e6, 2.7e6, 4.2e6},

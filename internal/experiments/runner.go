@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/textplot"
+)
+
+// The parallel experiment engine. Every experiment is an independent
+// pure-ish computation (fixed seeds, no cross-experiment state other
+// than the build-once caches below), so a full report regeneration fans
+// out across GOMAXPROCS workers. Determinism is preserved by collecting
+// results by index — paper order in, paper order out — never by
+// completion order; the same holds for the intra-experiment sweep
+// helper the heaviest experiments use.
+
+// Result is the outcome of one experiment run by RunAll.
+type Result struct {
+	// Index is the position of the experiment in the requested order.
+	Index int
+	// ID and Title identify the artifact.
+	ID, Title string
+	// Tables and Plots are the regenerated outputs (nil on error).
+	Tables []*textplot.Table
+	Plots  []string
+	// Err is the experiment's failure, or the context error for
+	// experiments that were never scheduled because the run was
+	// cancelled.
+	Err error
+	// Elapsed is the wall-clock time the experiment took.
+	Elapsed time.Duration
+	// AllocBytes is the heap allocated while the experiment ran. It is
+	// exact for Workers=1; under parallel runs it includes allocations
+	// by concurrently running experiments and is only indicative.
+	AllocBytes uint64
+}
+
+// Options configures RunAll.
+type Options struct {
+	// Workers caps the number of experiments running concurrently.
+	// Zero or negative means GOMAXPROCS.
+	Workers int
+	// IDs selects a subset of experiments to run, in the given order.
+	// Nil means every registered experiment in paper order.
+	IDs []string
+	// OnProgress, when non-nil, is called once per experiment as it
+	// finishes (completion order). Calls are serialised; the callback
+	// does not need its own locking.
+	OnProgress func(Result)
+}
+
+// RunAll regenerates the selected experiments on a worker pool and
+// returns their results in request order. The first experiment error (in
+// request order, not completion order) is also returned as the run
+// error; cancelling ctx stops scheduling new experiments and marks the
+// unscheduled ones with the context error.
+func RunAll(ctx context.Context, opts Options) ([]Result, error) {
+	exps, err := selectExperiments(opts.IDs)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+
+	results := make([]Result, len(exps))
+	for i, e := range exps {
+		results[i] = Result{Index: i, ID: e.ID, Title: e.Title}
+	}
+
+	var progressMu sync.Mutex
+	runOne := func(i int) {
+		r := &results[i]
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		before := ms.TotalAlloc
+		start := time.Now()
+		r.Tables, r.Plots, r.Err = exps[i].Run()
+		r.Elapsed = time.Since(start)
+		runtime.ReadMemStats(&ms)
+		r.AllocBytes = ms.TotalAlloc - before
+		if opts.OnProgress != nil {
+			progressMu.Lock()
+			opts.OnProgress(*r)
+			progressMu.Unlock()
+		}
+	}
+
+	if workers <= 1 {
+		for i := range exps {
+			if ctx.Err() != nil {
+				results[i].Err = ctx.Err()
+				continue
+			}
+			runOne(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					runOne(i)
+				}
+			}()
+		}
+		scheduled := make([]bool, len(exps))
+	feed:
+		for i := range exps {
+			select {
+			case jobs <- i:
+				scheduled[i] = true
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		for i := range exps {
+			if !scheduled[i] {
+				results[i].Err = ctx.Err()
+			}
+		}
+	}
+
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("experiments: %s: %w", results[i].ID, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// selectExperiments resolves ids to experiments, defaulting to paper
+// order.
+func selectExperiments(ids []string) ([]Experiment, error) {
+	if ids == nil {
+		return All(), nil
+	}
+	exps := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		e := ByID(id)
+		if e == nil {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		exps = append(exps, *e)
+	}
+	return exps, nil
+}
+
+// sweep fans fn out over items across GOMAXPROCS workers and collects
+// the outputs by item index, so callers observe exactly the ordering a
+// serial loop would produce. The first error by index wins. It is the
+// intra-experiment counterpart of RunAll for services × profiles (and
+// similar) product sweeps.
+func sweep[In, Out any](items []In, fn func(In) (Out, error)) ([]Out, error) {
+	outs := make([]Out, len(items))
+	errs := make([]error, len(items))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i := range items {
+			outs[i], errs[i] = fn(items[i])
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					outs[i], errs[i] = fn(items[i])
+				}
+			}()
+		}
+		for i := range items {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// keyedOnce builds one value per key exactly once without serialising
+// unrelated keys: the map lock is held only long enough to find or
+// insert the key's cell, and the build itself runs under the cell's own
+// sync.Once. Concurrent callers of the same key block until the single
+// build finishes; callers of different keys proceed independently.
+type keyedOnce[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*onceCell[V]
+}
+
+type onceCell[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+func (c *keyedOnce[K, V]) get(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[K]*onceCell[V]{}
+	}
+	cell, ok := c.m[key]
+	if !ok {
+		cell = &onceCell[V]{}
+		c.m[key] = cell
+	}
+	c.mu.Unlock()
+	cell.once.Do(func() { cell.val, cell.err = build() })
+	return cell.val, cell.err
+}

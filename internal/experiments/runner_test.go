@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/origin"
+	"repro/internal/services"
+)
+
+// renderResult flattens a result's tables and plots to one comparable
+// string (timing fields are excluded — wall clock is never deterministic).
+func renderResult(r Result) string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	for _, p := range r.Plots {
+		b.WriteString(p)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestRunAllDeterminism is the engine's core guarantee: a serial run and
+// a heavily parallel run produce byte-identical tables and plots for
+// every experiment ID. Fixed seeds make each experiment deterministic in
+// isolation; index-ordered collection makes the schedule irrelevant.
+func TestRunAllDeterminism(t *testing.T) {
+	// Force real fan-out even on small CI machines: RunAll workers and
+	// the intra-experiment sweep() both key off GOMAXPROCS.
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	serial, err := RunAll(context.Background(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progressed atomic.Int32
+	parallel, err := RunAll(context.Background(), Options{
+		Workers:    8,
+		OnProgress: func(Result) { progressed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) || len(serial) != len(All()) {
+		t.Fatalf("result counts differ: %d serial, %d parallel, %d registered",
+			len(serial), len(parallel), len(All()))
+	}
+	if int(progressed.Load()) != len(parallel) {
+		t.Errorf("OnProgress fired %d times for %d experiments", progressed.Load(), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].ID != parallel[i].ID {
+			t.Fatalf("order diverged at %d: %s vs %s", i, serial[i].ID, parallel[i].ID)
+		}
+		s, p := renderResult(serial[i]), renderResult(parallel[i])
+		if s != p {
+			t.Errorf("%s: output differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				serial[i].ID, s, p)
+		}
+		if s == "" {
+			t.Errorf("%s: empty output", serial[i].ID)
+		}
+	}
+}
+
+func TestRunAllSubset(t *testing.T) {
+	ids := []string{"fig4", "fig3"} // deliberately not paper order
+	results, err := RunAll(context.Background(), Options{Workers: 4, IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, id := range ids {
+		if results[i].ID != id || results[i].Index != i {
+			t.Errorf("result %d: got %s (index %d), want %s", i, results[i].ID, results[i].Index, id)
+		}
+	}
+	if _, err := RunAll(context.Background(), Options{IDs: []string{"fig999"}}); err == nil {
+		t.Error("unknown id did not error")
+	}
+}
+
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := RunAll(ctx, Options{Workers: 4, IDs: []string{"fig3", "fig4"}})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	for _, r := range results {
+		if r.Err == nil && r.Tables == nil {
+			t.Errorf("%s: neither ran nor marked with the context error", r.ID)
+		}
+	}
+}
+
+// TestKeyedOnceConcurrent hammers the per-key once cache from many
+// goroutines: every key's builder must run exactly once, unrelated keys
+// must not serialise each other, and all callers must observe the same
+// value. Run under -race this is the engine's cache-safety proof.
+func TestKeyedOnceConcurrent(t *testing.T) {
+	const keys = 12
+	const callers = 16
+	var cache keyedOnce[int, int]
+	var builds [keys]atomic.Int32
+	var wg sync.WaitGroup
+	errc := make(chan error, keys*callers)
+	for k := 0; k < keys; k++ {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				v, err := cache.get(k, func() (int, error) {
+					builds[k].Add(1)
+					return k * k, nil
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if v != k*k {
+					errc <- fmt.Errorf("key %d: got %d", k, v)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	for k := 0; k < keys; k++ {
+		if n := builds[k].Load(); n != 1 {
+			t.Errorf("key %d built %d times", k, n)
+		}
+	}
+}
+
+// TestServiceOriginConcurrentStress exercises the real origin cache the
+// way parallel experiments do: every service requested from many
+// goroutines at once. All callers of a service must get the same origin
+// pointer (built once), and under -race the shared read paths must stay
+// clean.
+func TestServiceOriginConcurrentStress(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	svcs := allServices()
+	const callers = 8
+	got := make([][]*origin.Origin, len(svcs))
+	for i := range got {
+		got[i] = make([]*origin.Origin, callers)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, len(svcs)*callers)
+	for si, svc := range svcs {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(si, c int, svc *services.Service) {
+				defer wg.Done()
+				org, err := serviceOrigin(svc)
+				if err != nil {
+					errc <- fmt.Errorf("%s: %w", svc.Name, err)
+					return
+				}
+				got[si][c] = org
+			}(si, c, svc)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for si, svc := range svcs {
+		for c := 1; c < callers; c++ {
+			if got[si][c] != got[si][0] {
+				t.Errorf("%s: caller %d got a different origin instance", svc.Name, c)
+			}
+		}
+	}
+}
+
+// TestByIDCached: ByID must resolve from the cached index, returning a
+// copy the caller can mutate without corrupting the registry.
+func TestByIDCached(t *testing.T) {
+	a, b := ByID("fig8"), ByID("fig8")
+	if a == nil || b == nil {
+		t.Fatal("fig8 not found")
+	}
+	if a == b {
+		t.Error("ByID returned the same pointer twice; callers could alias mutations")
+	}
+	a.Title = "mutated"
+	if c := ByID("fig8"); c.Title != b.Title {
+		t.Error("mutating a ByID result leaked into the registry")
+	}
+}

@@ -112,41 +112,60 @@ func Fig15() ([]*textplot.Table, []string, error) {
 		Title:  "Figure 15 — startup delay and stall ratio (50 × 1-minute low-bandwidth profiles)",
 		Header: []string{"segment dur", "startup track", "startup segments", "avg startup delay (s)", "stall ratio"},
 	}
+	type combo struct {
+		set  setting
+		nseg int
+	}
+	var combos []combo
 	for _, st := range settings {
-		org, err := exoContent(st.segDur, 99)
-		if err != nil {
+		// Build each segment duration's content up front (cached), so
+		// concurrent combos share the origin instead of racing to build it.
+		if _, err := exoContent(st.segDur, 99); err != nil {
 			return nil, nil, err
 		}
-		declared := org.Pres.Video[st.track].DeclaredBitrate
 		for _, nseg := range []int{1, 2, 3, 4} {
-			var delays []float64
-			stalled := 0
-			runs := 0
-			for _, mp := range minis {
-				cfg := exoPlayer("exo15")
-				cfg.StartupTrack = st.track
-				cfg.StartupBufferSec = st.segDur * float64(nseg)
-				cfg.StartupSegments = nseg
-				res, err := services.RunWithOrigin(cfg, org, mp, 60, nil)
-				if err != nil {
-					return nil, nil, err
-				}
-				runs++
-				if res.StartupDelay >= 0 {
-					delays = append(delays, res.StartupDelay)
-				}
-				if len(res.Stalls) > 0 {
-					stalled++
-				}
-			}
-			t.AddRow(
-				fmt.Sprintf("%.0fs", st.segDur),
-				fmt.Sprintf("%.1f Mbps", declared/1e6),
-				fmt.Sprintf("%d", nseg),
-				textplot.Secs(textplot.Mean(delays)),
-				textplot.Pct(float64(stalled)/float64(runs)),
-			)
+			combos = append(combos, combo{st, nseg})
 		}
+	}
+	rows, err := sweep(combos, func(c combo) ([]string, error) {
+		org, err := exoContent(c.set.segDur, 99)
+		if err != nil {
+			return nil, err
+		}
+		declared := org.Pres.Video[c.set.track].DeclaredBitrate
+		var delays []float64
+		stalled := 0
+		runs := 0
+		for _, mp := range minis {
+			cfg := exoPlayer("exo15")
+			cfg.StartupTrack = c.set.track
+			cfg.StartupBufferSec = c.set.segDur * float64(c.nseg)
+			cfg.StartupSegments = c.nseg
+			res, err := services.RunWithOrigin(cfg, org, mp, 60, nil)
+			if err != nil {
+				return nil, err
+			}
+			runs++
+			if res.StartupDelay >= 0 {
+				delays = append(delays, res.StartupDelay)
+			}
+			if len(res.Stalls) > 0 {
+				stalled++
+			}
+		}
+		return []string{
+			fmt.Sprintf("%.0fs", c.set.segDur),
+			fmt.Sprintf("%.1f Mbps", declared/1e6),
+			fmt.Sprintf("%d", c.nseg),
+			textplot.Secs(textplot.Mean(delays)),
+			textplot.Pct(float64(stalled) / float64(runs)),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*textplot.Table{t}, nil, nil
 }

@@ -29,11 +29,17 @@ func Table1() ([]*textplot.Table, []string, error) {
 		Header: []string{"service", "segdur(s)", "sep.audio", "maxTCP", "persistent",
 			"startup(s)", "startup(Mbps)", "pause(s)", "resume(s)", "stable", "aggressive"},
 	}
-	for _, svc := range allServices() {
+	rows, err := sweep(allServices(), func(svc *services.Service) (probe.Row, error) {
 		row, err := probe.Table1(svc)
 		if err != nil {
-			return nil, nil, fmt.Errorf("table1: %s: %w", svc.Name, err)
+			return row, fmt.Errorf("table1: %s: %w", svc.Name, err)
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row.Service,
 			fmt.Sprintf("%.0f", row.SegmentDuration),
 			textplot.YN(row.SeparateAudio),
@@ -72,12 +78,18 @@ func Table2() ([]*textplot.Table, []string, error) {
 		Title:  "Table 2 — identified QoE-impacting issues",
 		Header: []string{"design factor", "problem", "QoE impact", "affected services"},
 	}
-	for _, is := range issues {
+	flagged, err := sweep(issues, func(is issue) ([]string, error) {
 		svcs, err := is.detect()
 		if err != nil {
-			return nil, nil, fmt.Errorf("table2: %q: %w", is.problem, err)
+			return nil, fmt.Errorf("table2: %q: %w", is.problem, err)
 		}
-		t.AddRow(is.factor, is.problem, is.impact, join(svcs))
+		return svcs, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, is := range issues {
+		t.AddRow(is.factor, is.problem, is.impact, join(flagged[i]))
 	}
 	return []*textplot.Table{t}, nil, nil
 }
