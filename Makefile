@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check test race bench bench-smoke report
+.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke report fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,27 @@ fmt-check:
 	if [ -n "$$files" ]; then \
 		echo "gofmt needed on:"; echo "$$files"; exit 1; \
 	fi
+
+# The determinism-contract analyzers (simclock, seededrand, maprange,
+# floateq, bpsunits) over the whole module. Standalone mode needs no
+# network and no vet driver; see lint-vettool for the cached variant.
+lint:
+	$(GO) run ./cmd/vodlint .
+
+# Same analyzers through `go vet -vettool=`: incremental via the build
+# cache, and proves the unitchecker protocol keeps working.
+lint-vettool:
+	$(GO) build -o bin/vodlint ./cmd/vodlint
+	$(GO) vet -vettool=$(CURDIR)/bin/vodlint ./...
+
+# Everything a PR must pass, in the order CI runs it.
+verify: build vet fmt-check lint test
+
+# Native fuzz targets, a few seconds each — the CI smoke setting.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/player/ -run '^$$' -fuzz '^FuzzSessionInvariants$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/player/ -run '^$$' -fuzz '^FuzzSessionDeterminism$$' -fuzztime $(FUZZTIME)
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,198 @@
+// Command vodlint runs the repository's determinism-contract analyzers
+// (simclock, seededrand, maprange, floateq, bpsunits) over the module.
+//
+// Standalone mode loads and type-checks every package of the module
+// rooted at the named directory (default ".") without the go tool:
+//
+//	vodlint            # lint the module at .
+//	vodlint -only simclock,maprange /path/to/module
+//
+// It also speaks the go vet vettool protocol, so the same binary plugs
+// into the build cache-aware driver:
+//
+//	go build -o bin/vodlint ./cmd/vodlint
+//	go vet -vettool=$PWD/bin/vodlint ./...
+//
+// In that mode the go command hands the tool a JSON config per package
+// (files, import map, export data) and the tool type-checks against gc
+// export data instead of source.
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/bpsunits"
+	"repro/internal/lint/floateq"
+	"repro/internal/lint/maprange"
+	"repro/internal/lint/seededrand"
+	"repro/internal/lint/simclock"
+)
+
+var all = []*lint.Analyzer{
+	simclock.Analyzer,
+	seededrand.Analyzer,
+	maprange.Analyzer,
+	floateq.Analyzer,
+	bpsunits.Analyzer,
+}
+
+func main() {
+	var (
+		versionFlag = flag.String("V", "", "print version (go vet toolID handshake; use -V=full)")
+		only        = flag.String("only", "", "comma-separated subset of analyzers to run")
+		list        = flag.Bool("list", false, "list analyzers and exit")
+		flagsFlag   = flag.Bool("flags", false, "print flag descriptions in JSON (go vet handshake)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vodlint [-only a,b] [module-dir]\n   or: go vet -vettool=$(command -v vodlint) ./...\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		printVersion()
+		return
+	}
+	if *flagsFlag {
+		printFlags()
+		return
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vodlint:", err)
+		os.Exit(2)
+	}
+
+	// go vet invokes the tool with a single *.cfg argument.
+	if args := flag.Args(); len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], analyzers))
+	}
+
+	dir := "."
+	if args := flag.Args(); len(args) > 0 {
+		dir = args[0]
+	}
+	os.Exit(standalone(dir, analyzers))
+}
+
+// selectAnalyzers resolves the -only subset.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// standalone lints a whole module via the source loader.
+func standalone(dir string, analyzers []*lint.Analyzer) int {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vodlint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vodlint:", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		// The lint framework does not police itself or its fixtures:
+		// analyzer testdata is full of deliberate violations.
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vodlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			rel := d
+			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// printFlags implements the -flags handshake: the go command queries the
+// vettool for its flag set as a JSON array so it can accept those flags
+// on its own command line and forward them.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{Name: "only", Bool: false, Usage: "comma-separated subset of analyzers to run"},
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vodlint:", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(data))
+}
+
+// printVersion implements the -V=full handshake: the go command hashes
+// this line into its build cache key, so it embeds a content hash of
+// the executable — rebuilding vodlint invalidates cached vet results.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("vodlint version v1-%s\n", id)
+}

@@ -82,9 +82,9 @@ func RunAll(ctx context.Context, opts Options) ([]Result, error) {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		before := ms.TotalAlloc
-		start := time.Now()
+		start := time.Now() //vodlint:allow simclock — wall-clock runner timing, not simulation state
 		r.Tables, r.Plots, r.Err = exps[i].Run()
-		r.Elapsed = time.Since(start)
+		r.Elapsed = time.Since(start) //vodlint:allow simclock — wall-clock runner timing, not simulation state
 		runtime.ReadMemStats(&ms)
 		r.AllocBytes = ms.TotalAlloc - before
 		if opts.OnProgress != nil {

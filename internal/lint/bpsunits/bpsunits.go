@@ -1,0 +1,188 @@
+// Package bpsunits is a heuristic unit-safety lint for bandwidth
+// arithmetic.
+//
+// HAS code juggles two unit families that differ by exactly 8×:
+// bits-per-second (declared bitrates, shaper limits, throughput
+// estimates — the paper reports everything in kbps/Mbps) and bytes
+// (segment sizes, transaction payloads, token buckets). Adding or
+// comparing a *Bps quantity against a *Bytes quantity without an
+// explicit *8 or /8 is the classic bandwidth-accounting bug — the
+// estimator feeding internal/simnet would be silently off by 8×. The
+// analyzer classifies identifiers by name (bps/kbps/mbps/bit tokens vs
+// byte tokens) and flags +, -, and comparisons that mix the families
+// when neither operand carries a conversion by 8. Multiplication and
+// division are exempt: they are how units legitimately change.
+package bpsunits
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags additive or comparison arithmetic directly mixing
+// bits-per-second-named and byte-named operands with no *8 or /8.
+var Analyzer = &lint.Analyzer{
+	Name: "bpsunits",
+	Doc: "flag +/-/comparison mixing bits-per-second-named and byte-named " +
+		"values without an explicit *8 or /8 conversion",
+	Run: run,
+}
+
+type unitClass int
+
+const (
+	unitNone unitClass = iota
+	unitBits
+	unitBytes
+)
+
+// classify tokenises a camelCase/snake_case identifier and looks for
+// unit-bearing words. Names mentioning both families (bytesToBits)
+// classify as none: they are converters.
+func classify(name string) unitClass {
+	bits, bytes := false, false
+	for _, tok := range splitWords(name) {
+		switch tok {
+		case "bps", "kbps", "mbps", "gbps", "bit", "bits", "bitrate", "bitrates":
+			bits = true
+		case "byte", "bytes":
+			bytes = true
+		}
+	}
+	switch {
+	case bits && bytes, !bits && !bytes:
+		return unitNone
+	case bits:
+		return unitBits
+	default:
+		return unitBytes
+	}
+}
+
+// splitWords lowercases and splits fooBarBps/foo_bar_bps into
+// [foo bar bps]; digits glue to the preceding word so Kbps8 stays one
+// token.
+func splitWords(name string) []string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	for i, r := range name {
+		switch {
+		case r == '_':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			// New word unless we are inside an acronym run (BPS).
+			if i > 0 && len(cur) > 0 {
+				prev := cur[len(cur)-1]
+				if prev < 'A' || prev > 'Z' {
+					flush()
+				}
+			}
+			cur = append(cur, r)
+		default:
+			// A lowercase letter after an acronym run starts a new word
+			// at the run's last capital: "BPSLimit" -> bps, limit.
+			if len(cur) > 1 && r >= 'a' && r <= 'z' {
+				prev := cur[len(cur)-1]
+				if prev >= 'A' && prev <= 'Z' {
+					head := cur[:len(cur)-1]
+					words = append(words, strings.ToLower(string(head)))
+					cur = cur[len(cur)-1:]
+				}
+			}
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return words
+}
+
+// operandClass classifies an expression by its naming, and reports
+// whether the subtree already contains a by-8 conversion.
+func operandClass(e ast.Expr) (unitClass, bool) {
+	conv := containsByEight(e)
+	if id := lint.RootIdent(e); id != nil {
+		return classify(id.Name), conv
+	}
+	// For compound arithmetic (a*b, a/b) classify from any named leaf.
+	cls := unitNone
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && cls == unitNone {
+			cls = classify(id.Name)
+		}
+		return cls == unitNone
+	})
+	return cls, conv
+}
+
+// containsByEight detects *8, 8*, or /8 anywhere in the expression.
+func containsByEight(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if (be.Op == token.MUL && (isEight(be.X) || isEight(be.Y))) ||
+			(be.Op == token.QUO && isEight(be.Y)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isEight(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Kind == token.INT && bl.Value == "8"
+}
+
+// mixing lists the operators for which mixed units are always a bug:
+// additive arithmetic and magnitude comparisons. MUL/QUO convert units
+// and stay legal.
+var mixing = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if mixing[e.Op] {
+					report(pass, e.OpPos, e.Op, e.X, e.Y)
+				}
+			case *ast.AssignStmt:
+				if len(e.Lhs) == 1 && len(e.Rhs) == 1 &&
+					(e.Tok == token.ASSIGN || mixing[e.Tok]) {
+					report(pass, e.TokPos, e.Tok, e.Lhs[0], e.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *lint.Pass, pos token.Pos, op token.Token, x, y ast.Expr) {
+	cx, convX := operandClass(x)
+	cy, convY := operandClass(y)
+	if cx == unitNone || cy == unitNone || cx == cy || convX || convY {
+		return
+	}
+	pass.Reportf(pos,
+		"%q mixes bits-per-second and byte quantities with no *8 or /8 conversion — the classic 8x bandwidth-accounting bug",
+		op)
+}

@@ -1,0 +1,36 @@
+package bpsunits
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestBpsunits(t *testing.T) {
+	linttest.Run(t, Analyzer, "a")
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		want unitClass
+	}{
+		{"estimateBps", unitBits},
+		{"Kbps", unitBits},
+		{"declared_mbps", unitBits},
+		{"DeclaredBitrate", unitBits},
+		{"TotalBytes", unitBytes},
+		{"bodyBytes", unitBytes},
+		{"byteCount", unitBytes},
+		{"bytesToBits", unitNone}, // converters mention both families
+		{"BytesPerSecFromBps", unitNone},
+		{"tokens", unitNone},
+		{"durationSec", unitNone},
+		{"bitmap", unitNone}, // "bitmap" must not token-split into bit+map
+	}
+	for _, c := range cases {
+		if got := classify(c.name); got != c.want {
+			t.Errorf("classify(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package a
+
+// The classic 8x bug family: additive arithmetic and comparisons that
+// mix bits-per-second quantities with byte quantities.
+func bad(estimateBps float64, segmentBytes float64, kbps float64, bodyBytes int64) {
+	_ = estimateBps + segmentBytes  // want `mixes bits-per-second and byte quantities`
+	_ = estimateBps - segmentBytes  // want `mixes bits-per-second and byte quantities`
+	if estimateBps < segmentBytes { // want `mixes bits-per-second and byte quantities`
+		return
+	}
+	if kbps >= float64(bodyBytes) { // want `mixes bits-per-second and byte quantities`
+		return
+	}
+	var limitBps float64
+	limitBps = segmentBytes // want `mixes bits-per-second and byte quantities`
+	_ = limitBps
+}
+
+func good(estimateBps, segmentBytes, durationSec float64, totalBytes int64) {
+	// Explicit by-8 conversions are how the families legitimately meet.
+	_ = estimateBps + segmentBytes*8
+	_ = estimateBps/8 - segmentBytes
+	if estimateBps > 8*segmentBytes {
+		return
+	}
+	// Multiplication and division change units by construction.
+	throughputBps := float64(totalBytes) * 8 / durationSec
+	_ = throughputBps
+	bytesPerSec := estimateBps / 8
+	_ = bytesPerSec
+	// Same-family arithmetic is unconstrained.
+	_ = segmentBytes + float64(totalBytes)
+	_ = estimateBps + throughputBps
+	// Unclassified names never pair into a finding.
+	var tokens float64
+	tokens -= segmentBytes
+	_ = tokens
+}
+
+func allowed(rateBps, bodyBytes float64) float64 {
+	return rateBps + bodyBytes //vodlint:allow bpsunits — deliberate mixed-unit fixture
+}

@@ -1,0 +1,90 @@
+// Package floateq flags exact equality comparisons between floats.
+//
+// The simulator advances virtual time and buffer occupancy as float64
+// seconds; quantities that "should" be equal after different arithmetic
+// paths (playhead vs. buffered end, declared vs. accumulated bitrate)
+// differ in the last ulp, so == and != on floats encode decisions that
+// flip on harmless refactors. Compare against a tolerance (math.Abs(a-b)
+// <= eps) or restructure around ordered comparisons. Two exemptions
+// keep the signal high: comparisons against exactly-representable
+// integral constants (x == 0 for "unset", x != -1 for "absent" — stored
+// sentinels round-trip bit-exactly), and _test.go files wholesale,
+// because asserting byte-exact reproduction is the point of this
+// repository's tests. Anything else that is intentionally exact (sort
+// tie-breaks on stored values) carries //vodlint:allow floateq.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags ==/!= between floating-point operands outside
+// _test.go files.
+var Analyzer = &lint.Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floats outside tests; compare with a tolerance",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if pass.InTestFile(be.Pos()) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo, be.X) && !isFloat(pass.TypesInfo, be.Y) {
+				return true
+			}
+			// Two constants compare exactly at compile time.
+			if isConst(pass.TypesInfo, be.X) && isConst(pass.TypesInfo, be.Y) {
+				return true
+			}
+			// Comparison against an exactly-representable integral
+			// constant is the sentinel idiom (unset config == 0, a
+			// stored "absent" marker == -1, a sweep value == 120):
+			// such values round-trip assignment bit-exactly, so the
+			// comparison is reliable when the other side was stored,
+			// not computed.
+			if isIntegralConst(pass.TypesInfo, be.X) || isIntegralConst(pass.TypesInfo, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"%s between floats is exact to the last ulp; compare with a tolerance or annotate //vodlint:allow floateq for sentinel values",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	return info.Types[e].Value != nil
+}
+
+// isIntegralConst reports whether e is a constant with an exact
+// integral value (0, -1, 120, …) — safe as a stored sentinel.
+func isIntegralConst(info *types.Info, e ast.Expr) bool {
+	v := info.Types[e].Value
+	if v == nil {
+		return false
+	}
+	return constant.ToInt(v).Kind() == constant.Int
+}

@@ -1,0 +1,11 @@
+package floateq
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, Analyzer, "a")
+}

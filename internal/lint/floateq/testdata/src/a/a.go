@@ -1,0 +1,44 @@
+package a
+
+import "math"
+
+const eps = 1e-9
+
+func bad(a, b float64, f float32) bool {
+	if a == b { // want `== between floats is exact to the last ulp`
+		return true
+	}
+	if f != 0.5 { // want `!= between floats is exact`
+		return true
+	}
+	return a*2 == b+1 // want `== between floats is exact`
+}
+
+func good(a, b float64, n, m int) bool {
+	if math.Abs(a-b) <= eps { // tolerance comparison: the fix
+		return true
+	}
+	if a < b || a >= b { // ordered comparisons are fine
+		return true
+	}
+	if n == m { // integers compare exactly
+		return true
+	}
+	const x, y = 1.5, 2.5
+	return x == y // both constant: folded at compile time
+}
+
+func sentinel(v, limit float64) bool {
+	// Integral-constant sentinels are exempt: stored 0/-1/120 markers
+	// round-trip assignment bit-exactly.
+	if v == 0 || v != -1 || v == 120 {
+		return true
+	}
+	return limit == 0
+}
+
+func tiebreak(a, b float64) bool {
+	// Intentionally exact comparisons of stored (not computed) values
+	// are declared with the directive.
+	return a == b //vodlint:allow floateq — sort tie-break on stored values
+}

@@ -1,0 +1,7 @@
+package a
+
+// Byte-exact assertions are the entire point of this repository's
+// tests, so _test.go files are exempt.
+func assertExact(got, want float64) bool {
+	return got == want
+}

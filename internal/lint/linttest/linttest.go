@@ -1,0 +1,193 @@
+// Package linttest runs an analyzer over a testdata package and checks
+// its diagnostics against // want "regexp" annotations — a standard-
+// library-only equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// Each expectation is a comment on the offending line:
+//
+//	t := time.Now() // want `call to time\.Now`
+//
+// A line may carry several expectations (// want "a" "b"); every
+// expectation must be matched by exactly one diagnostic and every
+// diagnostic must match an expectation, so suites prove both that the
+// analyzer fires and that it stays quiet on the safe idiom.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads testdata/src/<pkg> for each named package (relative to the
+// test's working directory), applies the analyzer, and reports any
+// mismatch between diagnostics and want annotations as test failures.
+func Run(t *testing.T, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkg(t, a, pkg)
+	}
+}
+
+func runPkg(t *testing.T, a *lint.Analyzer, pkgName string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkgName)
+	unit, err := load(dir, pkgName)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgName, err)
+	}
+	diags, err := lint.Run(unit, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", pkgName, err)
+	}
+	checkExpectations(t, unit, diags)
+}
+
+// load parses and type-checks one testdata directory as a package.
+// Imports resolve through the source importer, so testdata may use any
+// standard-library package but nothing else.
+func load(dir, pkgName string) (*lint.Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	return &lint.Package{
+		Path:  pkgName,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// expectation is one want annotation.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, unit *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := unit.Fset.Position(c.Slash)
+				for _, raw := range parseWants(t, pos, c.Text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the quoted patterns from a `// want "a" "b"` or
+// backquoted comment; non-want comments return nil.
+func parseWants(t *testing.T, pos token.Position, text string) []string {
+	t.Helper()
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var out []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '"' && rest[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Errorf("%s:%d: unterminated want pattern", pos.Filename, pos.Line)
+				return out
+			}
+			unq, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, rest[:end+1], err)
+				return out
+			}
+			out = append(out, unq)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Errorf("%s:%d: unterminated want pattern", pos.Filename, pos.Line)
+				return out
+			}
+			out = append(out, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			t.Errorf("%s:%d: want patterns must be quoted, got %q", pos.Filename, pos.Line, rest)
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked compilation unit: either a package's
+// base files (importable by others) or a test-augmented unit that also
+// holds its _test.go files.
+type Package struct {
+	// Path is the import path ("repro/internal/simnet").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset is the position table shared by every unit of a load.
+	Fset *token.FileSet
+	// Files are the unit's parsed files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info records the type-checker's resolutions.
+	Info *types.Info
+	// TestUnit marks units containing _test.go files; analyzers report
+	// only on the test files of such units (the base files were already
+	// checked as their own unit).
+	TestUnit bool
+}
+
+// loader type-checks every package of a module without the go tool:
+// module-internal imports resolve recursively through itself, all other
+// imports through the standard library's source importer (which parses
+// GOROOT — no network, no export-data files needed).
+type loader struct {
+	fset     *token.FileSet
+	root     string            // module directory
+	module   string            // module path from go.mod
+	dirs     map[string]string // import path -> directory
+	base     map[string]*types.Package
+	checking map[string]bool
+	std      types.ImporterFrom
+	units    []*Package
+}
+
+// Load parses and type-checks every package under the module rooted at
+// root (the directory containing go.mod), including in-package and
+// external test units, and returns them sorted by import path with base
+// units before test units.
+func Load(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		root:     root,
+		module:   modPath,
+		dirs:     map[string]string{},
+		base:     map[string]*types.Package{},
+		checking: map[string]bool{},
+		std:      importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	if err := ld.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(ld.dirs))
+	for p := range ld.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := ld.importModulePkg(p); err != nil {
+			return nil, err
+		}
+	}
+	// Test units come after every base unit exists, so external test
+	// packages can import their subjects.
+	for _, p := range paths {
+		if err := ld.loadTestUnits(p); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(ld.units, func(i, j int) bool {
+		a, b := ld.units[i], ld.units[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		return !a.TestUnit && b.TestUnit
+	})
+	return ld.units, nil
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// discover maps every directory holding Go files to its import path.
+func (ld *loader) discover() error {
+	return filepath.WalkDir(ld.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != ld.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(ld.root, path)
+				if err != nil {
+					return err
+				}
+				ip := ld.module
+				if rel != "." {
+					ip = ld.module + "/" + filepath.ToSlash(rel)
+				}
+				ld.dirs[ip] = path
+				break
+			}
+		}
+		return nil
+	})
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, ld.root, 0)
+}
+
+// ImportFrom resolves module-internal paths itself and delegates the
+// rest (standard library) to the source importer.
+func (ld *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == ld.module || strings.HasPrefix(path, ld.module+"/") {
+		return ld.importModulePkg(path)
+	}
+	return ld.std.ImportFrom(path, dir, mode)
+}
+
+// importModulePkg type-checks (once) the base unit of a module package.
+func (ld *loader) importModulePkg(path string) (*types.Package, error) {
+	if pkg, ok := ld.base[path]; ok {
+		return pkg, nil
+	}
+	if ld.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	ld.checking[path] = true
+	defer delete(ld.checking, path)
+
+	dir, ok := ld.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not found in module", path)
+	}
+	files, err := ld.parseDir(dir, func(name string) bool {
+		return !strings.HasSuffix(name, "_test.go")
+	})
+	if err != nil {
+		return nil, err
+	}
+	unit, err := ld.check(path, dir, files, false)
+	if err != nil {
+		return nil, err
+	}
+	ld.base[path] = unit.Types
+	return unit.Types, nil
+}
+
+// loadTestUnits type-checks the in-package and external test units of a
+// package directory, if it has test files.
+func (ld *loader) loadTestUnits(path string) error {
+	dir := ld.dirs[path]
+	var inPkg, external []*ast.File
+	testFiles, err := ld.parseDir(dir, func(name string) bool {
+		return strings.HasSuffix(name, "_test.go")
+	})
+	if err != nil {
+		return err
+	}
+	for _, f := range testFiles {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			external = append(external, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+	if len(inPkg) > 0 {
+		// Re-parse the base files so the augmented unit has its own
+		// consistent object resolution.
+		baseFiles, err := ld.parseDir(dir, func(name string) bool {
+			return !strings.HasSuffix(name, "_test.go")
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := ld.check(path, dir, append(baseFiles, inPkg...), true); err != nil {
+			return err
+		}
+	}
+	if len(external) > 0 {
+		if _, err := ld.check(path+"_test", dir, external, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseDir parses the directory's Go files accepted by keep.
+func (ld *loader) parseDir(dir string, keep func(string) bool) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || !keep(name) {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check runs the type checker over one unit and records it.
+func (ld *loader) check(path, dir string, files []*ast.File, testUnit bool) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	unit := &Package{
+		Path:     path,
+		Dir:      dir,
+		Fset:     ld.fset,
+		Files:    files,
+		Types:    tpkg,
+		Info:     info,
+		TestUnit: testUnit,
+	}
+	ld.units = append(ld.units, unit)
+	return unit, nil
+}

@@ -1,0 +1,11 @@
+package maprange
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestMaprange(t *testing.T) {
+	linttest.Run(t, Analyzer, "a")
+}

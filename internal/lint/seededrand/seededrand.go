@@ -1,0 +1,80 @@
+// Package seededrand forbids the global math/rand generator and
+// wall-clock-derived seeds.
+//
+// Every random draw in this repository flows from an explicit seed
+// (media content, cellular traces, experiment sweeps), which is what
+// makes REPORT.md byte-identical across runs and worker counts. The
+// global rand.Intn/rand.Float64 functions draw from a process-wide
+// source whose state depends on call order across goroutines — and
+// rand.NewSource(time.Now().UnixNano()) reseeds from the wall clock.
+// Both reintroduce run-to-run noise. Construct explicitly seeded
+// generators instead: rng := rand.New(rand.NewSource(seed)).
+package seededrand
+
+import (
+	"go/ast"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags uses of the global math/rand source and seeds derived
+// from the wall clock.
+var Analyzer = &lint.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions and time-derived seeds; " +
+		"use an explicitly seeded *rand.Rand",
+	Run: run,
+}
+
+// allowed are the package-level constructors that do not draw from the
+// global source.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+	"Int64Seed":  true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := lint.CalleePkgFunc(pass.TypesInfo, call)
+			if !isRandPkg(pkg) {
+				return true
+			}
+			if !allowed[name] {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the global math/rand source; use an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+					name)
+				return true
+			}
+			// Seed-taking constructors must not launder the wall clock
+			// in: rand.NewSource(time.Now().UnixNano()) is still
+			// nondeterministic. rand.New is exempt — its Source argument
+			// is checked where it is built.
+			if name != "NewSource" && name != "NewPCG" && name != "NewChaCha8" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lint.ContainsCallTo(pass.TypesInfo, arg, "time", "") {
+					pass.Reportf(call.Pos(),
+						"rand.%s seeded from package time is nondeterministic; derive the seed from experiment parameters",
+						name)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package seededrand
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestSeededrand(t *testing.T) {
+	linttest.Run(t, Analyzer, "a")
+}

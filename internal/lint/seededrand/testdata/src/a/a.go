@@ -1,0 +1,27 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the global math/rand source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the global`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the global`
+	rand.Seed(42)                      // want `rand\.Seed draws from the global`
+	_ = rand.Perm(5)                   // want `rand\.Perm draws from the global`
+}
+
+func badSeed() {
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from package time is nondeterministic`
+}
+
+func good(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10) // method on a seeded *rand.Rand, not the global
+	_ = rng.Float64()
+	rng.Shuffle(3, func(i, j int) {})
+	rng2 := rand.New(rand.NewSource(seed ^ 0x5eed))
+	_ = rng2.Perm(5)
+}

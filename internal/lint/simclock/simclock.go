@@ -1,0 +1,113 @@
+// Package simclock forbids wall-clock reads inside simulation packages.
+//
+// The virtual-time engine is only deterministic if simulated durations
+// come from the simulation itself; a single time.Now() inside the
+// player, the network emulator or an experiment silently couples
+// results to the host's scheduler. Packages that legitimately run in
+// wall time (internal/httpplay, the cmd binaries, examples) follow the
+// injectable-clock pattern instead: a Config carries Now/Sleep function
+// fields defaulting to the time package, so tests and the simulator can
+// substitute a virtual clock. Storing time.Now as a function value is
+// therefore allowed — only calling it is flagged.
+package simclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags calls to wall-clock functions of package time inside
+// simulation packages.
+var Analyzer = &lint.Analyzer{
+	Name: "simclock",
+	Doc: "forbid time.Now/Since/Sleep/... calls in simulation packages; " +
+		"inject a clock (cfg.Now/cfg.Sleep) like internal/httpplay instead",
+	Run: run,
+}
+
+// banned lists the package-level time functions that read or wait on
+// the wall clock. Duration arithmetic (time.Duration, ParseDuration,
+// Unix, Date) stays legal: it is pure computation.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// simPackages are the import-path elements of packages whose behaviour
+// must be a pure function of their inputs. httpplay is deliberately
+// absent (it is the wall-clock twin of internal/player), as are cmd/
+// and examples/.
+var simPackages = map[string]bool{
+	"simnet":      true,
+	"netem":       true,
+	"player":      true,
+	"adaptation":  true,
+	"experiments": true,
+	"qoe":         true,
+	"media":       true,
+	"services":    true,
+	"traffic":     true,
+	"energy":      true,
+	"replacement": true,
+	"live":        true,
+	"modify":      true,
+	"origin":      true,
+	"manifest":    true,
+	"core":        true,
+	"probe":       true,
+	"uimon":       true,
+	"textplot":    true,
+	"proxy":       true,
+}
+
+// InScope reports whether a package path belongs to the simulation set:
+// any path element matching simPackages puts it in scope (so
+// repro/internal/manifest/hls is covered by "manifest").
+func InScope(pkgPath string) bool {
+	// go vet names test variants "pkg [pkg.test]"; scope by the real path.
+	if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	for _, elem := range strings.Split(pkgPath, "/") {
+		if simPackages[strings.TrimSuffix(elem, "_test")] {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	if !InScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				// Tests may time themselves; determinism of the tested
+				// code is enforced through its non-test files.
+				return true
+			}
+			pkg, name := lint.CalleePkgFunc(pass.TypesInfo, call)
+			if pkg == "time" && banned[name] {
+				pass.Reportf(call.Pos(),
+					"call to time.%s in simulation package %s breaks determinism; inject a clock (cfg.Now/cfg.Sleep) or annotate //vodlint:allow simclock",
+					name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

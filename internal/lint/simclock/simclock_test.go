@@ -1,0 +1,32 @@
+package simclock
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestSimclock(t *testing.T) {
+	linttest.Run(t, Analyzer, "simnet", "wallclock")
+}
+
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/simnet", true},
+		{"repro/internal/manifest/hls", true},
+		{"repro/internal/proxy", true},
+		{"repro/internal/experiments_test", true},
+		{"repro/internal/httpplay", false},
+		{"repro/cmd/vodserve", false},
+		{"repro/examples/quickstart", false},
+		{"repro/internal/lint/simclock", false},
+	}
+	for _, c := range cases {
+		if got := InScope(c.path); got != c.want {
+			t.Errorf("InScope(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package wallclock stands in for a package outside the simulation set
+// (like internal/httpplay or cmd/): simclock must stay silent here.
+package wallclock
+
+import "time"
+
+func RealTiming() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}

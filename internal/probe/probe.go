@@ -278,6 +278,7 @@ func maxConcurrent(txs []traffic.Transaction) int {
 	}
 	// insertion sort by time, ends before starts at equal times
 	for i := 1; i < len(evs); i++ {
+		//vodlint:allow floateq — sort tie-break on stored event times, intentionally exact
 		for j := i; j > 0 && (evs[j].t < evs[j-1].t || (evs[j].t == evs[j-1].t && evs[j].delta < evs[j-1].delta)); j-- {
 			evs[j], evs[j-1] = evs[j-1], evs[j]
 		}

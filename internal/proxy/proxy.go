@@ -10,6 +10,11 @@
 // Unlike internal/httpplay's client-side shaper, the proxy works with
 // any HTTP client: point a player's proxy setting at it and feed its
 // Log to traffic.Analyze.
+//
+// Like httpplay, the proxy reads time only through an injectable clock
+// (Config.Now/Config.Sleep), so tests drive it in virtual time with no
+// real sleeps, and the simclock analyzer holds: the wall clock appears
+// only as the default wiring.
 package proxy
 
 import (
@@ -24,11 +29,29 @@ import (
 	"repro/internal/traffic"
 )
 
+// Config parameterises a recording proxy, mirroring the injectable
+// clock pattern of httpplay.Config.
+type Config struct {
+	// Transport performs the real exchanges (nil = http.DefaultTransport).
+	Transport http.RoundTripper
+	// BitsPerSec limits the aggregate downstream rate (0 = unshaped).
+	BitsPerSec float64
+	// Now is the clock (nil = time.Now); tests can run it virtually.
+	Now func() time.Time
+	// Sleep waits (nil = time.Sleep). The shaper sleeps transfer debt
+	// off through this, so a virtual Sleep makes shaping instantaneous
+	// in tests. It may be called concurrently from request goroutines.
+	Sleep func(time.Duration)
+}
+
 // Recorder is a forward HTTP proxy handler with recording and optional
-// shaping. The zero value is not usable; construct with New.
+// shaping. The zero value is not usable; construct with New or
+// NewWithConfig.
 type Recorder struct {
 	transport http.RoundTripper
 	rate      func() float64 // bits/s limit; 0 = unshaped
+	now       func() time.Time
+	sleep     func(time.Duration)
 
 	mu     sync.Mutex
 	start  time.Time
@@ -37,15 +60,32 @@ type Recorder struct {
 	last   time.Time
 }
 
-// New creates a recording proxy. bitsPerSec limits the aggregate
-// downstream rate (0 = unshaped); transport performs the real exchanges
-// (nil = http.DefaultTransport).
+// New creates a recording proxy with the wall clock. bitsPerSec limits
+// the aggregate downstream rate (0 = unshaped); transport performs the
+// real exchanges (nil = http.DefaultTransport).
 func New(transport http.RoundTripper, bitsPerSec float64) *Recorder {
-	if transport == nil {
-		transport = http.DefaultTransport
+	return NewWithConfig(Config{Transport: transport, BitsPerSec: bitsPerSec})
+}
+
+// NewWithConfig creates a recording proxy from a full Config.
+func NewWithConfig(cfg Config) *Recorder {
+	if cfg.Transport == nil {
+		cfg.Transport = http.DefaultTransport
 	}
-	now := time.Now()
-	r := &Recorder{transport: transport, start: now, last: now}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	r := &Recorder{
+		transport: cfg.Transport,
+		now:       cfg.Now,
+		sleep:     cfg.Sleep,
+	}
+	r.start = r.now()
+	r.last = r.start
+	bitsPerSec := cfg.BitsPerSec
 	r.rate = func() float64 { return bitsPerSec }
 	return r
 }
@@ -63,7 +103,7 @@ func (p *Recorder) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.log = nil
-	p.start = time.Now()
+	p.start = p.now()
 }
 
 // ServeHTTP implements the forward proxy: it accepts both absolute-URI
@@ -83,7 +123,7 @@ func (p *Recorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Header = r.Header.Clone()
-	t0 := time.Now()
+	t0 := p.now()
 	resp, err := p.transport.RoundTrip(req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -96,7 +136,7 @@ func (p *Recorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.throttle(len(body))
-	t1 := time.Now()
+	t1 := p.now()
 
 	for k, vs := range resp.Header {
 		for _, v := range vs {
@@ -139,7 +179,7 @@ func (p *Recorder) throttle(n int) {
 	ratePerSec := limit / 8
 	burst := ratePerSec / 10
 	p.mu.Lock()
-	now := time.Now()
+	now := p.now()
 	p.tokens += now.Sub(p.last).Seconds() * ratePerSec
 	p.last = now
 	if p.tokens > burst {
@@ -149,7 +189,7 @@ func (p *Recorder) throttle(n int) {
 	debt := -p.tokens
 	p.mu.Unlock()
 	if debt > 0 {
-		time.Sleep(time.Duration(debt / ratePerSec * float64(time.Second)))
+		p.sleep(time.Duration(debt / ratePerSec * float64(time.Second)))
 	}
 }
 

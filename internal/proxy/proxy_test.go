@@ -1,9 +1,11 @@
 package proxy
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"sync"
 	"testing"
 	"time"
 
@@ -98,43 +100,70 @@ func TestProxyRecordsAnalyzableTraffic(t *testing.T) {
 	}
 }
 
-// TestProxyShaping: the token bucket slows real transfers down.
+// virtualClock is a mutex-guarded fake clock safe for the proxy's
+// request goroutines: Sleep advances time instead of waiting.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newVirtualClock() *virtualClock {
+	return &virtualClock{now: time.Unix(0, 0)}
+}
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// TestProxyShaping: the token bucket accounts transfer debt against the
+// injected clock — the test runs in virtual time, with no real sleeps.
 func TestProxyShaping(t *testing.T) {
 	payload := make([]byte, 200<<10)
 	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write(payload)
 	}))
 	defer upstream.Close()
-	rec := New(nil, 8e6) // 8 Mbit/s → 200 KiB ≈ 205 ms
+	clock := newVirtualClock()
+	// 8 Mbit/s = 1e6 bytes/s: 200 KiB with a zero bucket is 204.8 ms of
+	// debt, slept off on the virtual clock.
+	rec := NewWithConfig(Config{BitsPerSec: 8e6, Now: clock.Now, Sleep: clock.Sleep})
 	proxySrv := httptest.NewServer(rec)
 	defer proxySrv.Close()
 	proxyURL, _ := url.Parse(proxySrv.URL)
 	client := &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)}}
 
-	start := time.Now()
 	resp, err := client.Get(upstream.URL + "/blob")
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := 0
-	buf := make([]byte, 32<<10)
-	for {
-		m, err := resp.Body.Read(buf)
-		n += m
-		if err != nil {
-			break
-		}
-	}
+	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	took := time.Since(start)
-	if n != len(payload) {
-		t.Fatalf("read %d bytes", n)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if took < 100*time.Millisecond {
-		t.Fatalf("proxy shaping too permissive: %v", took)
+	if len(body) != len(payload) {
+		t.Fatalf("read %d bytes", len(body))
 	}
-	if txs := rec.Log(); len(txs) != 1 || txs[0].Bytes != int64(len(payload)) {
+	slept := clock.Now().Sub(time.Unix(0, 0))
+	if want := 2048 * time.Second / 10000; slept < want-time.Millisecond || slept > want+50*time.Millisecond {
+		t.Fatalf("virtual shaping slept %v, want ≈%v", slept, want)
+	}
+	txs := rec.Log()
+	if len(txs) != 1 || txs[0].Bytes != int64(len(payload)) {
 		t.Fatalf("log %+v", txs)
+	}
+	// The transaction's duration is measured on the injected clock, so
+	// it covers exactly the shaping debt.
+	if got := txs[0].End - txs[0].Start; got < slept.Seconds()-1e-3 {
+		t.Fatalf("transaction spans %.3fs on the virtual clock, slept %.3fs", got, slept.Seconds())
 	}
 }
 

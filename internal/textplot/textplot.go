@@ -121,6 +121,7 @@ func Plot(title string, width, height int, series ...Series) string {
 			maxY = math.Max(maxY, s.Y[i])
 		}
 	}
+	//vodlint:allow floateq — degenerate-range guard: equal stored extrema mean "no spread"
 	if math.IsInf(minX, 1) || maxX == minX || maxY <= minY {
 		return title + ": (no data)\n"
 	}

@@ -230,6 +230,7 @@ func Analyze(name string, txs []Transaction) (*Result, error) {
 		res.Segments = append(res.Segments, *s)
 	}
 	sort.SliceStable(res.Segments, func(i, j int) bool {
+		//vodlint:allow floateq — sort tie-break on stored segment starts, intentionally exact
 		if res.Segments[i].Start != res.Segments[j].Start {
 			return res.Segments[i].Start < res.Segments[j].Start
 		}

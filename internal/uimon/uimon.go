@@ -95,7 +95,7 @@ func PositionAt(samples []Sample, t float64) float64 {
 	for i := 1; i < len(samples); i++ {
 		if samples[i].T >= t {
 			a, b := samples[i-1], samples[i]
-			if b.T == a.T {
+			if b.T == a.T { //vodlint:allow floateq — zero-width interval guard on stored sample times
 				return b.Position
 			}
 			f := (t - a.T) / (b.T - a.T)
