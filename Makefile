@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke report fuzz-smoke
+.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,19 @@ bench:
 # parallel-engine report regeneration.
 bench-smoke:
 	$(GO) test -bench 'BenchmarkFig8|BenchmarkReportAllParallel' -benchtime 1x -run '^$$' ./...
+
+# Regenerate the machine-readable benchmark file (see DESIGN.md §7).
+BENCH_OUT ?= BENCH_local.json
+bench-json:
+	$(GO) run ./cmd/vodbench -bench -benchout $(BENCH_OUT)
+
+# Gate the current tree against the committed baseline. ns/op is
+# calibration-normalized (cross-machine safe); allocs/op is exact.
+# BENCH_FILTER narrows the suite (calibration always runs).
+BENCH_BASE ?= BENCH_baseline.json
+BENCH_FILTER ?=
+bench-compare:
+	$(GO) run ./cmd/vodbench -bench -filter '$(BENCH_FILTER)' -compare $(BENCH_BASE)
 
 # Regenerate REPORT.md on all cores (vodreport -workers N to override).
 report:

@@ -1,6 +1,7 @@
 // Command vodbench regenerates the paper's tables and figures from the
-// simulated testbed. Multiple experiments run on the parallel engine;
-// output stays in paper order for any worker count.
+// simulated testbed and doubles as the benchmark-regression harness.
+// Multiple experiments run on the parallel engine; output stays in
+// paper order for any worker count.
 //
 // Usage:
 //
@@ -8,6 +9,13 @@
 //	vodbench -exp fig8
 //	vodbench -exp fig8,fig9
 //	vodbench -exp all -workers 8
+//	vodbench -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Benchmark mode (see bench.go for the JSON schema and the
+// calibration-normalized comparison):
+//
+//	vodbench -bench -benchout BENCH_local.json
+//	vodbench -bench -filter 'substrate/' -compare BENCH_baseline.json
 package main
 
 import (
@@ -16,16 +24,62 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main so deferred profile writers execute before
+// the process exits (os.Exit skips defers).
+func run() int {
 	list := flag.Bool("list", false, "list experiment ids")
 	exp := flag.String("exp", "", "experiment id(s), comma-separated (fig3..fig15, table1, table2, sr_whatif, or 'all')")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments (1 = serial)")
+	bench := flag.Bool("bench", false, "run the benchmark suite instead of printing experiment output")
+	benchOut := flag.String("benchout", "", "write benchmark results as JSON to this file (- for stdout)")
+	filter := flag.String("filter", "", "regexp selecting benchmark names in -bench mode (calibration always runs)")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate the -bench run against")
+	tolerance := flag.Float64("tolerance", 0.20, "fractional ns/op regression tolerance for -compare (calibration-normalized)")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "fractional allocs/op regression tolerance for -compare")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+		}
+	}()
+
+	if *bench {
+		return benchMain(*filter, *benchOut, *compare, *tolerance, *allocTolerance)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -33,9 +87,9 @@ func main() {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
 		}
 		if *exp == "" && !*list {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	var ids []string
@@ -44,7 +98,7 @@ func main() {
 			id = strings.TrimSpace(id)
 			if experiments.ByID(id) == nil {
 				fmt.Fprintf(os.Stderr, "vodbench: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			ids = append(ids, id)
 		}
@@ -56,7 +110,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	for _, r := range results {
 		fmt.Printf("### %s — %s (%.1fs, %.1f MB alloc)\n\n", r.ID, r.Title, r.Elapsed.Seconds(), float64(r.AllocBytes)/1e6)
@@ -67,4 +121,35 @@ func main() {
 			fmt.Println(p)
 		}
 	}
+	return 0
+}
+
+// benchMain runs the benchmark suite and optionally writes and/or gates
+// the results; it returns the process exit code.
+func benchMain(filter, benchOut, compare string, tolerance, allocTolerance float64) int {
+	cur, err := runBench(filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+		return 1
+	}
+	if benchOut != "" {
+		if err := writeBenchFile(cur, benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+			return 1
+		}
+		if benchOut != "-" {
+			fmt.Fprintf(os.Stderr, "vodbench: wrote %s\n", benchOut)
+		}
+	}
+	if compare != "" {
+		base, err := readBenchFile(compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+			return 1
+		}
+		if compareBench(base, cur, tolerance, allocTolerance) > 0 {
+			return 1
+		}
+	}
+	return 0
 }

@@ -184,6 +184,7 @@ type session struct {
 	latencyN       int
 	stallOpen      bool
 	endAt          float64
+	declared       []float64 // ladder bitrates, built on first use
 }
 
 func (s *session) run() (*Result, error) {
@@ -263,12 +264,14 @@ func (s *session) run() (*Result, error) {
 
 // trackFor runs adaptation for the next segment.
 func (s *session) trackFor() int {
-	var declared []float64
-	for _, r := range s.org.Pres.Video {
-		declared = append(declared, r.DeclaredBitrate)
+	if s.declared == nil {
+		s.declared = make([]float64, 0, len(s.org.Pres.Video))
+		for _, r := range s.org.Pres.Video {
+			s.declared = append(s.declared, r.DeclaredBitrate)
+		}
 	}
 	return s.cfg.Algorithm.Select(adaptation.Context{
-		Declared:        declared,
+		Declared:        s.declared,
 		SegmentDuration: s.org.Video.SegmentDuration,
 		SegmentCount:    s.org.Video.SegmentCount(),
 		NextIndex:       s.nextIndex,
@@ -285,6 +288,9 @@ func (s *session) fetch(size float64) {
 	for {
 		done := s.net.Step(math.Inf(1))
 		if len(done) > 0 {
+			for _, tr := range done {
+				s.net.Recycle(tr)
+			}
 			s.res.Bytes += size
 			return
 		}

@@ -224,3 +224,70 @@ func TestParseSpec(t *testing.T) {
 		}
 	}
 }
+
+// TestCursorMatchesProfile drives a cursor along randomized monotone
+// time sequences (the forward-simulation access pattern) and checks
+// every read against the stateless Profile methods, including reads
+// exactly on boundaries and across trace-loop wraparound.
+func TestCursorMatchesProfile(t *testing.T) {
+	profiles := []*Profile{
+		{Name: "three", SampleDur: 1, Samples: []float64{10, 20, 30}},
+		Constant("const", 5e6, 10),
+		Step("step", 4e6, 1e6, 5, 20),
+		Cellular(3),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range profiles {
+		c := p.Cursor()
+		tm := 0.0
+		for i := 0; i < 5000; i++ {
+			switch rng.Intn(4) {
+			case 0: // land exactly on a boundary
+				tm = p.NextBoundary(tm)
+			case 1: // tiny forward nudge within a sample
+				tm += rng.Float64() * 0.01
+			default: // jump forward, possibly over several samples
+				tm += rng.Float64() * 3
+			}
+			if got, want := c.At(tm), p.At(tm); got != want {
+				t.Fatalf("%s: Cursor.At(%v) = %v, Profile.At = %v", p.Name, tm, got, want)
+			}
+			if got, want := c.NextBoundary(tm), p.NextBoundary(tm); got != want {
+				t.Fatalf("%s: Cursor.NextBoundary(%v) = %v, Profile.NextBoundary = %v", p.Name, tm, got, want)
+			}
+		}
+	}
+}
+
+// TestCursorBackwardSeek checks that a cursor still answers correctly
+// (by reseeking) when time moves backwards, so callers need no special
+// casing even though only forward motion is fast.
+func TestCursorBackwardSeek(t *testing.T) {
+	p := &Profile{Name: "b", SampleDur: 1, Samples: []float64{1, 2, 3, 4}}
+	c := p.Cursor()
+	times := []float64{3.5, 1.2, 0.1, 2.9, 0.0, 3.999}
+	for _, tm := range times {
+		if got, want := c.At(tm), p.At(tm); got != want {
+			t.Fatalf("Cursor.At(%v) = %v, want %v", tm, got, want)
+		}
+	}
+}
+
+func TestCursorIntegral(t *testing.T) {
+	p := &Profile{Name: "i", SampleDur: 1, Samples: []float64{10, 20, 30}}
+	cases := [][2]float64{{0, 1}, {0, 3}, {0.5, 1.5}, {2, 4}, {0, 6}, {1, 1}}
+	c := p.Cursor()
+	for _, cse := range cases {
+		if got, want := c.Integral(cse[0], cse[1]), p.Integral(cse[0], cse[1]); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Cursor.Integral(%v,%v) = %v, want %v", cse[0], cse[1], got, want)
+		}
+	}
+	// Empty profile: never a boundary.
+	e := (&Profile{SampleDur: 1}).Cursor()
+	if got := e.NextBoundary(5); !math.IsInf(got, 1) {
+		t.Fatalf("empty-profile NextBoundary = %v, want +Inf", got)
+	}
+	if got := e.At(5); got != 0 {
+		t.Fatalf("empty-profile At = %v, want 0", got)
+	}
+}

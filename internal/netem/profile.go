@@ -80,6 +80,82 @@ func (p *Profile) Integral(a, b float64) float64 {
 	return total
 }
 
+// Cursor is a monotone read position into a profile. Forward simulation
+// queries the bandwidth at a non-decreasing sequence of times; a Cursor
+// caches the sample window containing the last query so At and
+// NextBoundary are O(1) amortised instead of doing a divide, floor and
+// modulo per call, and Integral does not restart its boundary walk from
+// scratch. On a cache miss the cursor recomputes the window with the
+// exact same floating-point expressions as Profile.At/NextBoundary, so
+// for the sample durations the repository ships (SampleDur 1, where
+// t/SampleDur is exact) cursor reads are bit-identical to the Profile
+// methods at any t, in any order.
+//
+// The zero Cursor is invalid; obtain one from Profile.Cursor.
+type Cursor struct {
+	p        *Profile
+	lo, hi   float64 // cached window: queries in [lo, hi) hit
+	val      float64 // sample value over the window
+	hasCache bool
+}
+
+// Cursor returns a cursor positioned before the start of the profile.
+func (p *Profile) Cursor() Cursor { return Cursor{p: p} }
+
+// seek reseeds the cursor's window at time t using the exact same
+// floating-point expressions as Profile.At and Profile.NextBoundary.
+func (c *Cursor) seek(t float64) {
+	p := c.p
+	if len(p.Samples) == 0 {
+		c.val, c.lo, c.hi = 0, t, math.Inf(1)
+		c.hasCache = true
+		return
+	}
+	c.val = p.At(t)
+	n := math.Floor(t/p.SampleDur) + 1
+	b := n * p.SampleDur
+	if b <= t { // guard against floating point slop, as NextBoundary does
+		b = (n + 1) * p.SampleDur
+	}
+	c.lo, c.hi = t, b
+	c.hasCache = true
+}
+
+// At returns the bandwidth in bits/s at time t (the trace loops),
+// equal to Profile.At(t). Repeated calls with non-decreasing t amortise
+// to O(1).
+func (c *Cursor) At(t float64) float64 {
+	if !c.hasCache || t < c.lo || t >= c.hi {
+		c.seek(t)
+	}
+	return c.val
+}
+
+// NextBoundary returns the earliest time strictly greater than t at
+// which the bandwidth may change, equal to Profile.NextBoundary(t).
+func (c *Cursor) NextBoundary(t float64) float64 {
+	if !c.hasCache || t < c.lo || t >= c.hi {
+		c.seek(t)
+	}
+	return c.hi
+}
+
+// Integral returns the bits deliverable in [a, b] at full utilisation,
+// equal to Profile.Integral(a, b), advancing the cursor to b.
+func (c *Cursor) Integral(a, b float64) float64 {
+	if b <= a || len(c.p.Samples) == 0 {
+		return 0
+	}
+	total := 0.0
+	t := a
+	for t < b {
+		next := math.Min(c.NextBoundary(t), b)
+		total += c.At(t) * (next - t)
+		t = next
+	}
+	return total
+}
+
 // Average returns the mean bandwidth in bits/s over one trace period.
 func (p *Profile) Average() float64 {
 	if len(p.Samples) == 0 {

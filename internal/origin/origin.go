@@ -78,10 +78,10 @@ func NewWithOptions(p *manifest.Presentation, opts Options) (*Origin, error) {
 		url := p.ManifestURL()
 		o.docs[url] = obfuscate(o.docs[url])
 	}
-	for _, r := range append(append([]*manifest.Rendition{}, p.Video...), p.Audio...) {
+	index := func(r *manifest.Rendition) {
 		if r.MediaURL != "" {
-			var sizes []int64
-			var durs []float64
+			sizes := make([]int64, 0, len(r.Segments))
+			durs := make([]float64, 0, len(r.Segments))
 			var total int64
 			for _, s := range r.Segments {
 				sizes = append(sizes, s.Size)
@@ -97,6 +97,12 @@ func NewWithOptions(p *manifest.Presentation, opts Options) (*Origin, error) {
 				o.segSize[s.URL] = s.Size
 			}
 		}
+	}
+	for _, r := range p.Video {
+		index(r)
+	}
+	for _, r := range p.Audio {
+		index(r)
 	}
 	return o, nil
 }

@@ -1,8 +1,6 @@
 package player
 
 import (
-	"sort"
-
 	"repro/internal/media"
 )
 
@@ -27,7 +25,8 @@ type BufferedSegment struct {
 // depends on the player configuration (MidBufferDiscard); the Buffer
 // itself supports both operations and the Session enforces the policy.
 type Buffer struct {
-	segs []BufferedSegment
+	segs    []BufferedSegment
+	dropped []BufferedSegment // scratch reused by DropFromIndex
 }
 
 // Insert adds a segment, keeping media order. Inserting an index that is
@@ -40,8 +39,15 @@ func (b *Buffer) Insert(s BufferedSegment) (old BufferedSegment, replaced bool) 
 			return old, true
 		}
 	}
+	// Shift-insert into the already-sorted slice, after any equal Start
+	// (what a stable sort of the appended slice produced).
 	b.segs = append(b.segs, s)
-	sort.Slice(b.segs, func(i, j int) bool { return b.segs[i].Start < b.segs[j].Start })
+	i := len(b.segs) - 1
+	for i > 0 && b.segs[i-1].Start > s.Start {
+		b.segs[i] = b.segs[i-1]
+		i--
+	}
+	b.segs[i] = s
 	return BufferedSegment{}, false
 }
 
@@ -110,8 +116,10 @@ func (b *Buffer) UnplayedCount(playhead float64) int {
 
 // DropFromIndex removes every buffered segment with Index ≥ index and
 // returns them (the deque tail discard that contiguous replacement needs).
+// The returned slice is reused by the next DropFromIndex call.
 func (b *Buffer) DropFromIndex(index int) []BufferedSegment {
-	var kept, dropped []BufferedSegment
+	kept := b.segs[:0]
+	dropped := b.dropped[:0]
 	for _, s := range b.segs {
 		if s.Index >= index {
 			dropped = append(dropped, s)
@@ -120,6 +128,7 @@ func (b *Buffer) DropFromIndex(index int) []BufferedSegment {
 		}
 	}
 	b.segs = kept
+	b.dropped = dropped
 	return dropped
 }
 

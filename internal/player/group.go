@@ -83,12 +83,11 @@ func (g *Group) Run() []*Result {
 		}
 		for _, tr := range completed {
 			m := tr.Meta.(*reqMeta)
-			if m.owner != nil && m.owner.done {
-				continue // abandoned session; ignore stragglers
-			}
-			if m.owner != nil {
+			if m.owner != nil && !m.owner.done {
 				m.owner.onComplete(tr)
 			}
+			// else: abandoned session; ignore the straggler
+			net.Recycle(tr)
 		}
 	}
 	out := make([]*Result, len(g.sessions))

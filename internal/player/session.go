@@ -3,6 +3,7 @@ package player
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/adaptation"
 	"repro/internal/manifest"
@@ -26,7 +27,7 @@ type Session struct {
 	net  *simnet.Network
 
 	conns []*simnet.Conn
-	live  map[*simnet.Conn]*reqMeta
+	live  []*reqMeta // in-flight request per connection slot
 
 	// playback state
 	playhead       float64
@@ -59,6 +60,12 @@ type Session struct {
 	pendingSeeks           []SeekEvent
 	seekOpen               bool
 	seekStart              float64
+
+	// allocation-avoidance state (hot path)
+	metaFree    []*reqMeta // recycled request metadata
+	avgBitrates []float64  // ladder average bitrates, nil unless complete
+	segSizeFn   func(track, index int) float64
+	replScratch []replacement.BufferedSegment
 
 	res *Result
 }
@@ -117,11 +124,15 @@ func NewSession(cfg Config, org *origin.Origin, net *simnet.Network) (*Session, 
 		view:           clientView(org.Pres),
 		net:            net,
 		conns:          make([]*simnet.Conn, cfg.MaxConnections),
-		live:           map[*simnet.Conn]*reqMeta{},
+		live:           make([]*reqMeta, cfg.MaxConnections),
 		lastVideoTrack: -1,
 		fetchedDocs:    map[string]bool{},
 	}
 	n := len(s.pres.Video[0].Segments)
+	nAudio := 0
+	if len(s.pres.Audio) > 0 {
+		nAudio = len(s.pres.Audio[0].Segments)
+	}
 	s.res = &Result{
 		Name:               cfg.Name,
 		MediaDuration:      s.pres.Duration,
@@ -130,6 +141,13 @@ func NewSession(cfg Config, org *origin.Origin, net *simnet.Network) (*Session, 
 		StartupDelay:       -1,
 		Displayed:          make([]int, n),
 		DisplayedWallStart: make([]float64, n),
+		// Sized for the common full run: one sample per second plus one
+		// download and transaction per segment (growth still works when
+		// replacement or seeks exceed the estimate).
+		Samples:      make([]BufferSample, 0, int(cfg.SessionDuration)+2),
+		Downloads:    make([]Download, 0, n+nAudio+8),
+		Transactions: make([]traffic.Transaction, 0, n+nAudio+16),
+		Declared:     make([]float64, 0, len(s.pres.Video)),
 	}
 	for i := range s.res.Displayed {
 		s.res.Displayed[i] = -1
@@ -138,15 +156,50 @@ func NewSession(cfg Config, org *origin.Origin, net *simnet.Network) (*Session, 
 	for _, r := range s.pres.Video {
 		s.res.Declared = append(s.res.Declared, r.DeclaredBitrate)
 	}
+	// The adaptation context inputs that never change over a session are
+	// computed once instead of per segment decision.
+	avgs := make([]float64, 0, len(s.view.Video))
+	for _, r := range s.view.Video {
+		if r.AverageBitrate > 0 {
+			avgs = append(avgs, r.AverageBitrate)
+		}
+	}
+	if len(avgs) == len(s.view.Video) {
+		s.avgBitrates = avgs
+	}
+	if cfg.ExposeSegmentSizes && len(s.view.Video) > 0 && len(s.view.Video[0].Segments) > 0 &&
+		s.view.Video[0].Segments[0].Size > 0 {
+		view := s.view
+		s.segSizeFn = func(track, index int) float64 {
+			return float64(view.Video[track].Segments[index].Size)
+		}
+	}
 	s.pendingSeeks = append([]SeekEvent(nil), cfg.Seeks...)
 	s.buildDocQueue()
 	return s, nil
 }
 
-// clientView clones the presentation, hiding per-segment sizes when the
-// protocol does not expose them before download (plain HLS URLs and
-// SmoothStreaming templates carry no size information; §4.2).
+// viewCache memoizes clientView per presentation: the view is read-only,
+// and experiments run thousands of sessions against a handful of shared
+// presentations, so cloning the segment tables per session was one of the
+// top allocators. Keyed by pointer; concurrent sessions may race to build
+// the first view and LoadOrStore keeps exactly one.
+var viewCache sync.Map // *manifest.Presentation -> *manifest.Presentation
+
+// clientView returns the shared client-side view of a presentation,
+// hiding per-segment sizes when the protocol does not expose them before
+// download (plain HLS URLs and SmoothStreaming templates carry no size
+// information; §4.2). The result is shared across sessions and must not
+// be mutated.
 func clientView(p *manifest.Presentation) *manifest.Presentation {
+	if v, ok := viewCache.Load(p); ok {
+		return v.(*manifest.Presentation)
+	}
+	v, _ := viewCache.LoadOrStore(p, buildClientView(p))
+	return v.(*manifest.Presentation)
+}
+
+func buildClientView(p *manifest.Presentation) *manifest.Presentation {
 	exposes := p.Addressing == manifest.RangesInManifest || p.Addressing == manifest.SidxRanges
 	cp := *p
 	strip := func(rs []*manifest.Rendition) []*manifest.Rendition {
@@ -205,13 +258,29 @@ func (s *Session) conn(slot int) *simnet.Conn {
 	return s.conns[slot]
 }
 
+// newMeta returns request metadata from the session's free list (every
+// field zeroed) or a fresh allocation.
+func (s *Session) newMeta() *reqMeta {
+	if k := len(s.metaFree); k > 0 {
+		m := s.metaFree[k-1]
+		s.metaFree = s.metaFree[:k-1]
+		return m
+	}
+	return &reqMeta{}
+}
+
+// freeMeta recycles request metadata once no transfer references it.
+func (s *Session) freeMeta(m *reqMeta) {
+	*m = reqMeta{}
+	s.metaFree = append(s.metaFree, m)
+}
+
 func (s *Session) startTransfer(slot int, size float64, m *reqMeta) {
 	m.owner = s
 	m.slot = slot
 	c := s.conn(slot)
-	tr := c.Start(size, m)
-	_ = tr
-	s.live[c] = m
+	c.Start(size, m)
+	s.live[slot] = m
 	s.inflight++
 }
 
@@ -497,9 +566,9 @@ func (s *Session) issueRequests() {
 }
 
 func (s *Session) startDoc(slot int, d docReq) {
-	s.startTransfer(slot, d.wireSize, &reqMeta{
-		kind: reqDoc, url: d.url, rs: d.rs, re: d.re, body: d.body, dlIdx: -1,
-	})
+	m := s.newMeta()
+	m.kind, m.url, m.rs, m.re, m.body, m.dlIdx = reqDoc, d.url, d.rs, d.re, d.body, -1
+	s.startTransfer(slot, d.wireSize, m)
 }
 
 // nextTaskSynced picks the content type that is further behind, counting
@@ -597,8 +666,8 @@ func (s *Session) issueParallel() {
 
 func (s *Session) videoInflight() int {
 	n := 0
-	for c, m := range s.live {
-		if c.Busy() && m.kind != reqDoc && m.typ == media.TypeVideo {
+	for _, m := range s.live {
+		if m != nil && m.kind != reqDoc && m.typ == media.TypeVideo {
 			n++
 		}
 	}
@@ -606,8 +675,8 @@ func (s *Session) videoInflight() int {
 }
 
 func (s *Session) audioInflight() bool {
-	for c, m := range s.live {
-		if c.Busy() && m.kind != reqDoc && m.typ == media.TypeAudio {
+	for _, m := range s.live {
+		if m != nil && m.kind != reqDoc && m.typ == media.TypeAudio {
 			return true
 		}
 	}
@@ -681,9 +750,11 @@ func (s *Session) issueSplit() {
 			}
 		}
 		intOff = end
-		mc := m
-		s.startTransfer(i, sz, &mc)
+		pm := s.newMeta()
+		*pm = m
+		s.startTransfer(i, sz, pm)
 	}
+	s.freeMeta(meta) // parts carry copies; the original is done
 }
 
 // issueSegment prepares and starts the next segment of a type on a slot.
@@ -742,9 +813,9 @@ func (s *Session) prepareSegment(t media.MediaType) (*reqMeta, float64, bool) {
 			if pl := rend.PlaylistURL; pl != "" && !s.fetchedDocs[pl] {
 				s.fetchedDocs[pl] = true
 				if body, ok := s.org.Document(pl); ok {
-					return &reqMeta{
-						kind: reqDoc, url: pl, rs: -1, re: -1, body: body, dlIdx: -1,
-					}, float64(len(body)), true
+					m := s.newMeta()
+					m.kind, m.url, m.rs, m.re, m.body, m.dlIdx = reqDoc, pl, -1, -1, body, -1
+					return m, float64(len(body)), true
 				}
 			}
 		}
@@ -752,10 +823,9 @@ func (s *Session) prepareSegment(t media.MediaType) (*reqMeta, float64, bool) {
 		_ = prevTrack
 	}
 	seg := rend.Segments[index]
-	m := &reqMeta{
-		kind: reqSeg, typ: t, track: rend.ID, index: index, replace: repl,
-		url: seg.URL, rs: -1, re: -1, dlIdx: -1,
-	}
+	m := s.newMeta()
+	m.kind, m.typ, m.track, m.index, m.replace = reqSeg, t, rend.ID, index, repl
+	m.url, m.rs, m.re, m.dlIdx = seg.URL, -1, -1, -1
 	if seg.URL == "" {
 		m.url = rend.MediaURL
 		m.rs, m.re = seg.Offset, seg.Offset+seg.Length-1
@@ -770,6 +840,7 @@ func (s *Session) prepareSegment(t media.MediaType) (*reqMeta, float64, bool) {
 			})
 			s.event("reject", fmt.Sprintf("origin rejected segment request #%d", s.segSeq))
 			s.downloadDead = true
+			s.freeMeta(m)
 			return nil, 0, false
 		}
 	}
@@ -805,22 +876,8 @@ func (s *Session) selectVideoTrack() int {
 		LastTrack:       s.lastVideoTrack,
 		StartupTrack:    s.cfg.StartupTrack,
 	}
-	var avgs []float64
-	for _, r := range s.view.Video {
-		if r.AverageBitrate > 0 {
-			avgs = append(avgs, r.AverageBitrate)
-		}
-	}
-	if len(avgs) == len(s.view.Video) {
-		ctx.Average = avgs
-	}
-	if s.cfg.ExposeSegmentSizes && len(s.view.Video) > 0 && len(s.view.Video[0].Segments) > 0 &&
-		s.view.Video[0].Segments[0].Size > 0 {
-		view := s.view
-		ctx.SegmentSize = func(track, index int) float64 {
-			return float64(view.Video[track].Segments[index].Size)
-		}
-	}
+	ctx.Average = s.avgBitrates
+	ctx.SegmentSize = s.segSizeFn
 	s.prevDecisionOcc = occ
 	return s.cfg.Algorithm.Select(ctx)
 }
@@ -830,13 +887,14 @@ func (s *Session) considerReplacement(selected int) replacement.Action {
 		return replacement.Action{Op: replacement.OpNext}
 	}
 	ph := s.playheadAtNow()
-	var buffered []replacement.BufferedSegment
-	for _, b := range s.videoBuf.Segments() {
+	buffered := s.replScratch[:0]
+	for _, b := range s.videoBuf.segs {
 		if b.End <= ph {
 			continue
 		}
 		buffered = append(buffered, replacement.BufferedSegment{Index: b.Index, Track: b.Track, Start: b.Start})
 	}
+	s.replScratch = buffered
 	act := s.cfg.Replacement.Consider(replacement.View{
 		Buffered:        buffered,
 		Playhead:        ph,
@@ -872,7 +930,7 @@ func (s *Session) discard(dropped []BufferedSegment) {
 func (s *Session) onComplete(tr *simnet.Transfer) {
 	s.inflight--
 	m := tr.Meta.(*reqMeta)
-	delete(s.live, tr.Conn)
+	s.live[m.slot] = nil
 	if !s.cfg.Persistent {
 		tr.Conn.Close()
 		if m.slot < len(s.conns) && s.conns[m.slot] == tr.Conn {
@@ -912,6 +970,7 @@ func (s *Session) onComplete(tr *simnet.Transfer) {
 			s.finishSegmentCore(&g.meta, g.bytes, s.net.Now())
 		}
 	}
+	s.freeMeta(m)
 }
 
 // addVideoSample feeds the bandwidth estimator with the aggregate

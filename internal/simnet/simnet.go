@@ -11,6 +11,28 @@
 // latency, and idle persistent connections re-enter slow start
 // (slow-start-after-idle), which is what separates "persistent" from
 // "non-persistent" services beyond the handshake (§3.2).
+//
+// # Engine
+//
+// Step is an incremental event engine. The flowing-transfer set is
+// maintained across intervals — a transfer enters it when its first byte
+// arrives (FlowAt) and leaves on completion or connection close — instead
+// of being rebuilt from the connection list every constant-rate interval.
+// Max-min water-filling reruns only when the flowing set, a connection
+// cap, or the link capacity actually changed; between such events the
+// previously computed rates stay valid. Profile lookups go through a
+// monotone netem.Cursor, so bandwidth queries are O(1) amortised over a
+// forward simulation. The hot path performs no heap allocations:
+// scratch buffers are reused across intervals and completed Transfer
+// objects can be returned to a free list with Recycle.
+//
+// Everything the engine does is bit-identical to the straightforward
+// rebuild-and-sort-every-interval formulation (kept as the reference
+// implementation in the package's tests): the flowing set is ordered by
+// connection dial order exactly as the rebuild produced it, water-filling
+// applies the same arithmetic in the same order (ascending cap, stable
+// for ties), and skipped recomputations would have produced the values
+// already in place.
 package simnet
 
 import (
@@ -94,6 +116,7 @@ type Transfer struct {
 
 	remaining float64
 	rate      float64 // last allocated rate, bytes/s (for inspection)
+	pos       int     // index in Network.flowing; -1 while not flowing
 }
 
 // Remaining returns the bytes not yet delivered.
@@ -122,6 +145,7 @@ type Conn struct {
 	nextGrow    float64 // next window doubling time (valid while ramping and active)
 	lastActive  float64 // completion time of the last transfer
 	cur         *Transfer
+	idx         int // position in Network.conns; -1 once removed
 }
 
 // Busy reports whether a transfer is in flight on the connection.
@@ -134,13 +158,28 @@ func (c *Conn) Established() bool { return c.established }
 // InSlowStart reports whether the connection's rate is still ramping.
 func (c *Conn) InSlowStart() bool { return !math.IsInf(c.capBps, 1) }
 
+// effCap is the connection's effective rate ceiling in bytes/s: the
+// tighter of the slow-start window and the static per-connection cap.
+func (c *Conn) effCap() float64 {
+	if c.staticCap < c.capBps {
+		return c.staticCap
+	}
+	return c.capBps
+}
+
 // Close releases the connection. A non-persistent client closes after
-// every response and dials again for the next request.
+// every response and dials again for the next request. An in-flight
+// transfer is abandoned: it never completes and stops consuming link
+// capacity.
 func (c *Conn) Close() {
 	if c.closed {
 		return
 	}
 	c.closed = true
+	if tr := c.cur; tr != nil {
+		c.net.removeFlowing(tr)
+		c.net.removePending(tr)
+	}
 	c.net.removeConn(c)
 }
 
@@ -168,16 +207,18 @@ func (c *Conn) Start(size float64, meta any) *Transfer {
 	} else if cfg.SlowStartAfterIdle && now-c.lastActive > cfg.IdleResetAfter {
 		c.capBps = initialCap
 	}
-	tr := &Transfer{
-		Conn:      c,
-		Size:      size,
-		Started:   now,
-		FlowAt:    now + latency,
-		Meta:      meta,
-		remaining: size,
-	}
+	tr := c.net.newTransfer()
+	tr.Conn = c
+	tr.Size = size
+	tr.Started = now
+	tr.FlowAt = now + latency
+	tr.Meta = meta
+	tr.remaining = size
 	c.cur = tr
 	c.nextGrow = tr.FlowAt + cfg.RTT
+	// Latency is always positive, so a new transfer starts pending and
+	// joins the flowing set once the clock reaches FlowAt.
+	c.net.pending = append(c.net.pending, tr)
 	return tr
 }
 
@@ -185,17 +226,35 @@ func (c *Conn) Start(size float64, meta any) *Transfer {
 type Network struct {
 	cfg       Config
 	profile   *netem.Profile
+	cursor    netem.Cursor
 	now       float64
 	conns     []*Conn
 	dialed    int
 	steadyCap float64 // cap beyond which a conn is considered out of slow start
 	delivered float64 // total bytes delivered (for conservation checks)
+
+	// Incrementally maintained transfer sets (see the package comment).
+	flowing []*Transfer // first byte arrived, ordered by Conn.idx (dial order)
+	pending []*Transfer // latency not yet elapsed; unordered
+	// Water-filling memo: rates stored on the flowing transfers stay
+	// valid until the flowing set, a cap, or the capacity changes.
+	allocDirty   bool
+	lastCapacity float64
+
+	items     []capItem   // scratch for allocate
+	completed []*Transfer // scratch returned by Step; valid until the next Step
+	free      []*Transfer // Recycle'd Transfer objects awaiting reuse
+}
+
+type capItem struct {
+	tr  *Transfer
+	cap float64
 }
 
 // New creates a network over the given bandwidth profile.
 func New(cfg Config, p *netem.Profile) *Network {
 	cfg = cfg.withDefaults()
-	n := &Network{cfg: cfg, profile: p}
+	n := &Network{cfg: cfg, profile: p, cursor: p.Cursor()}
 	// Once a connection's cap exceeds twice the link's peak rate it can
 	// never be the bottleneck again; stop generating doubling events.
 	n.steadyCap = 2 * p.Max() / 8
@@ -219,7 +278,7 @@ func (n *Network) Delivered() float64 { return n.delivered }
 
 // Dial creates a new, not-yet-established connection.
 func (n *Network) Dial() *Conn {
-	c := &Conn{net: n, capBps: math.Inf(1), staticCap: math.Inf(1)}
+	c := &Conn{net: n, capBps: math.Inf(1), staticCap: math.Inf(1), idx: len(n.conns)}
 	if seq := n.cfg.ConnCapSequence; len(seq) > 0 {
 		c.staticCap = seq[n.dialed%len(seq)] / 8
 	}
@@ -228,12 +287,115 @@ func (n *Network) Dial() *Conn {
 	return c
 }
 
+// Recycle returns a transfer to the network's free list so a later
+// Start can reuse the allocation. The caller asserts it holds no other
+// references; recycling an in-flight transfer panics. Recycling is
+// optional — transfers that are never recycled are simply left to the
+// garbage collector.
+func (n *Network) Recycle(tr *Transfer) {
+	if tr == nil {
+		return
+	}
+	if tr.Conn != nil && tr.Conn.cur == tr {
+		panic("simnet: Recycle of in-flight transfer")
+	}
+	*tr = Transfer{pos: -1}
+	n.free = append(n.free, tr)
+}
+
+func (n *Network) newTransfer() *Transfer {
+	if k := len(n.free); k > 0 {
+		tr := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return tr
+	}
+	return &Transfer{pos: -1}
+}
+
+// removeConn unlinks a closed connection in O(shift) using its stored
+// index — no linear scan. The remaining connections keep their relative
+// order (a swap-delete would reorder them and, with it, the float
+// accumulation order of delivered bytes, breaking bit-for-bit
+// determinism against the reference engine).
 func (n *Network) removeConn(c *Conn) {
-	for i, x := range n.conns {
-		if x == c {
-			n.conns = append(n.conns[:i], n.conns[i+1:]...)
+	i := c.idx
+	if i < 0 || i >= len(n.conns) || n.conns[i] != c {
+		return
+	}
+	copy(n.conns[i:], n.conns[i+1:])
+	last := len(n.conns) - 1
+	n.conns[last] = nil
+	n.conns = n.conns[:last]
+	for j := i; j < last; j++ {
+		n.conns[j].idx = j
+	}
+	c.idx = -1
+}
+
+// insertFlowing adds a transfer to the flowing set, keeping it ordered
+// by connection dial order (the iteration order the reference engine's
+// per-interval rebuild produced).
+func (n *Network) insertFlowing(tr *Transfer) {
+	i := len(n.flowing)
+	for i > 0 && n.flowing[i-1].Conn.idx > tr.Conn.idx {
+		i--
+	}
+	n.flowing = append(n.flowing, nil)
+	copy(n.flowing[i+1:], n.flowing[i:])
+	n.flowing[i] = tr
+	for j := i; j < len(n.flowing); j++ {
+		n.flowing[j].pos = j
+	}
+	n.allocDirty = true
+}
+
+// removeFlowing drops a transfer from the flowing set (completion or
+// close). No-op if the transfer is not flowing.
+func (n *Network) removeFlowing(tr *Transfer) {
+	i := tr.pos
+	if i < 0 || i >= len(n.flowing) || n.flowing[i] != tr {
+		return
+	}
+	copy(n.flowing[i:], n.flowing[i+1:])
+	last := len(n.flowing) - 1
+	n.flowing[last] = nil
+	n.flowing = n.flowing[:last]
+	for j := i; j < last; j++ {
+		n.flowing[j].pos = j
+	}
+	tr.pos = -1
+	n.allocDirty = true
+}
+
+// removePending drops a transfer whose first byte has not arrived yet
+// (close before FlowAt). Pending order is irrelevant, so swap-delete.
+func (n *Network) removePending(tr *Transfer) {
+	for i, x := range n.pending {
+		if x == tr {
+			last := len(n.pending) - 1
+			n.pending[i] = n.pending[last]
+			n.pending[last] = nil
+			n.pending = n.pending[:last]
 			return
 		}
+	}
+}
+
+// promote moves pending transfers whose FlowAt has arrived into the
+// flowing set.
+func (n *Network) promote() {
+	for i := 0; i < len(n.pending); {
+		tr := n.pending[i]
+		if tr.FlowAt <= n.now {
+			last := len(n.pending) - 1
+			n.pending[i] = n.pending[last]
+			n.pending[last] = nil
+			n.pending = n.pending[:last]
+			n.insertFlowing(tr)
+			continue
+		}
+		i++
 	}
 }
 
@@ -241,48 +403,62 @@ func (n *Network) removeConn(c *Conn) {
 // transfer completion(s), and returns the completed transfers (empty when
 // the deadline was reached first). Step with no active transfers simply
 // advances the clock.
+//
+// The returned slice is reused by the next Step call: consume (or copy)
+// it before stepping again, and do not append to it.
 func (n *Network) Step(until float64) []*Transfer {
 	if until < n.now {
 		panic(fmt.Sprintf("simnet: Step backwards from %v to %v", n.now, until))
 	}
+	// Exact comparison on purpose: callers re-Step to the same deadline
+	// after draining a completion batch, and that exact-equality case
+	// must cost nothing.
+	if until == n.now { //vodlint:allow floateq — fast path keyed on the caller passing the identical deadline back
+		return nil
+	}
 	const epsBytes = 1e-6
 	for n.now < until {
-		// Collect flowing and pending transfers.
-		var flowing []*Transfer
+		n.promote()
+
+		// Next state-change event: the deadline, a pending transfer's
+		// first byte, a slow-start window doubling, or a bandwidth
+		// boundary in the profile.
 		next := until
-		for _, c := range n.conns {
-			tr := c.cur
-			if tr == nil {
-				continue
+		for _, tr := range n.pending {
+			if tr.FlowAt < next {
+				next = tr.FlowAt
 			}
-			if tr.FlowAt > n.now {
-				if tr.FlowAt < next {
-					next = tr.FlowAt
-				}
-				continue
-			}
-			flowing = append(flowing, tr)
-			if c.InSlowStart() && c.nextGrow < next {
+		}
+		for _, tr := range n.flowing {
+			if c := tr.Conn; c.InSlowStart() && c.nextGrow < next {
 				next = c.nextGrow
 			}
 		}
-		if b := n.profile.NextBoundary(n.now); b < next {
+		if b := n.cursor.NextBoundary(n.now); b < next {
 			next = b
 		}
 
-		if len(flowing) == 0 {
+		if len(n.flowing) == 0 {
 			n.now = next
 			n.grow()
 			continue
 		}
 
-		// Allocate rates max-min fairly under the connection caps.
-		capacity := n.profile.At(n.now) / 8 // bytes/s
-		allocate(capacity, flowing)
+		// Allocate rates max-min fairly under the connection caps —
+		// but only if something changed since the last water-filling.
+		capacity := n.cursor.At(n.now) / 8 // bytes/s
+		// Exact comparison on purpose: an unchanged piecewise-constant
+		// capacity yields bit-identical rates, so recomputation is pure
+		// waste; any real profile change flips the sample value exactly.
+		if n.allocDirty || capacity != n.lastCapacity { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
+			n.allocate(capacity)
+			n.lastCapacity = capacity
+			n.allocDirty = false
+		}
 
 		// Earliest completion in this constant-rate interval.
 		tEvent := next
-		for _, tr := range flowing {
+		for _, tr := range n.flowing {
 			if tr.rate > 0 {
 				if tDone := n.now + tr.remaining/tr.rate; tDone < tEvent {
 					tEvent = tDone
@@ -295,8 +471,8 @@ func (n *Network) Step(until float64) []*Transfer {
 		}
 
 		dt := tEvent - n.now
-		var completed []*Transfer
-		for _, tr := range flowing {
+		completed := n.completed[:0]
+		for _, tr := range n.flowing {
 			d := tr.rate * dt
 			if d > tr.remaining {
 				d = tr.remaining
@@ -312,6 +488,10 @@ func (n *Network) Step(until float64) []*Transfer {
 				completed = append(completed, tr)
 			}
 		}
+		n.completed = completed
+		for _, tr := range completed {
+			n.removeFlowing(tr)
+		}
 		n.now = tEvent
 		n.grow()
 		if len(completed) > 0 {
@@ -322,10 +502,13 @@ func (n *Network) Step(until float64) []*Transfer {
 }
 
 // grow applies slow-start window doubling for connections whose doubling
-// time has arrived.
+// time has arrived. Only flowing transfers can grow: a pending
+// transfer's first doubling (FlowAt+RTT) is always in the future, and an
+// idle connection has no doubling events scheduled.
 func (n *Network) grow() {
-	for _, c := range n.conns {
-		if c.cur == nil || !c.InSlowStart() {
+	for _, tr := range n.flowing {
+		c := tr.Conn
+		if !c.InSlowStart() {
 			continue
 		}
 		for c.nextGrow <= n.now && c.InSlowStart() {
@@ -334,26 +517,88 @@ func (n *Network) grow() {
 			if c.capBps >= n.steadyCap {
 				c.capBps = math.Inf(1)
 			}
+			n.allocDirty = true
 		}
 	}
 }
 
-// allocate distributes capacity (bytes/s) over the flowing transfers using
-// max-min fairness with per-connection caps (progressive water filling).
-func allocate(capacity float64, flowing []*Transfer) {
-	type item struct {
-		tr  *Transfer
-		cap float64
-	}
-	items := make([]item, len(flowing))
-	for i, tr := range flowing {
-		cap := tr.Conn.capBps
-		if tr.Conn.staticCap < cap {
-			cap = tr.Conn.staticCap
+// smallSortLen is the largest slice length for which sort.Slice is an
+// insertion sort (and therefore stable); see the pdqsort cutoff in the
+// standard library. Up to this length the engine sorts caps with its own
+// allocation-free insertion sort — the exact same permutation, including
+// for ties — and the uncapped fast path may skip sorting entirely
+// (stability makes the sorted order the connection order). Beyond it the
+// reference used pdqsort, whose tie order is unspecified, so the engine
+// calls sort.Slice itself to stay bit-identical (no shipped experiment
+// has that many concurrent flows).
+const smallSortLen = 12
+
+// allocate distributes capacity (bytes/s) over the flowing transfers
+// using max-min fairness with per-connection caps (progressive water
+// filling). Two allocation-free fast paths cover the dominant cases; the
+// general path insertion-sorts a reused scratch slice. All paths produce
+// bit-identical rates (asserted by TestAllocateFastPathsMatchGeneral):
+// ascending effective cap, ties in connection order, with the same
+// sequential share arithmetic as the reference implementation.
+func (n *Network) allocate(capacity float64) {
+	flowing := n.flowing
+
+	// Fast path: a single flow takes the whole link up to its cap
+	// (capacity/1 is exact, so this equals the general path).
+	if len(flowing) == 1 {
+		tr := flowing[0]
+		r := tr.Conn.effCap()
+		if r > capacity {
+			r = capacity
 		}
-		items[i] = item{tr, cap}
+		if r < 0 {
+			r = 0
+		}
+		tr.rate = r
+		return
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i].cap < items[j].cap })
+
+	// Fast path: steady-state connections (ramped out of slow start, no
+	// static cap) are all uncapped — no sort needed, shares assign in
+	// connection order exactly as the stable-sorted general path would.
+	if len(flowing) <= smallSortLen {
+		uncapped := true
+		for _, tr := range flowing {
+			if !math.IsInf(tr.Conn.effCap(), 1) {
+				uncapped = false
+				break
+			}
+		}
+		if uncapped {
+			remainingC := capacity
+			remainingN := len(flowing)
+			for _, tr := range flowing {
+				r := remainingC / float64(remainingN)
+				if r < 0 {
+					r = 0
+				}
+				tr.rate = r
+				remainingC -= r
+				remainingN--
+			}
+			return
+		}
+	}
+
+	// General path: ascending effective cap on a reused scratch slice.
+	items := n.items[:0]
+	for _, tr := range flowing {
+		items = append(items, capItem{tr, tr.Conn.effCap()})
+	}
+	if len(items) <= smallSortLen {
+		for i := 1; i < len(items); i++ {
+			for j := i; j > 0 && items[j].cap < items[j-1].cap; j-- {
+				items[j], items[j-1] = items[j-1], items[j]
+			}
+		}
+	} else {
+		sort.Slice(items, func(i, j int) bool { return items[i].cap < items[j].cap })
+	}
 	remainingC := capacity
 	remainingN := len(items)
 	for _, it := range items {
@@ -369,4 +614,5 @@ func allocate(capacity float64, flowing []*Transfer) {
 		remainingC -= r
 		remainingN--
 	}
+	n.items = items
 }
