@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke
+.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke cache-determinism
 
 build:
 	$(GO) build ./...
@@ -76,3 +76,19 @@ bench-compare:
 # Regenerate REPORT.md on all cores (vodreport -workers N to override).
 report:
 	$(GO) run ./cmd/vodreport -out REPORT.md
+
+# Cold-vs-warm determinism gate for the session cache: generate the
+# report twice into a shared on-disk cache directory and require the
+# outputs to be byte-identical (-stable omits wall-clock lines, the only
+# legitimately nondeterministic output). The second run's cache counters
+# must show disk hits — otherwise the gate silently compared two cold
+# runs and proved nothing about the cache.
+cache-determinism:
+	$(GO) build -o bin/vodreport ./cmd/vodreport
+	dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	bin/vodreport -stable -q -v -cachedir "$$dir/cache" -out "$$dir/r1.md" 2> "$$dir/log1" && \
+	bin/vodreport -stable -q -v -cachedir "$$dir/cache" -out "$$dir/r2.md" 2> "$$dir/log2" && \
+	cmp "$$dir/r1.md" "$$dir/r2.md" && \
+	grep 'cache:' "$$dir/log2" && \
+	grep -q 'cache: 0 misses' "$$dir/log2" && \
+	echo "cache-determinism: cold and warm reports are byte-identical"

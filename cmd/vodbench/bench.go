@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/expcache"
 	"repro/internal/experiments"
 	"repro/internal/live"
 	"repro/internal/media"
@@ -77,7 +79,7 @@ func benchSpecs() ([]benchSpec, error) {
 			run: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, _, err := run(); err != nil {
+					if _, _, err := run(context.Background()); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -134,7 +136,36 @@ func substrateSpecs() ([]benchSpec, error) {
 
 	transferProfile := netem.Constant("c", 10e6, 1e6)
 
+	// report_cold / report_cached: one full report regeneration per
+	// iteration through the session cache — cold resets the in-memory
+	// tier first (every session computed), cached pre-warms it once
+	// (every session served from memory). The pair tracks cache
+	// effectiveness in BENCH_*.json: cached/cold is the fraction of
+	// report time that is session computation rather than analysis and
+	// rendering.
+	reportAll := func(b *testing.B) {
+		if _, err := experiments.RunAll(context.Background(), experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
 	return []benchSpec{
+		{"substrate/report_cold", "substrate", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				expcache.Default.Reset()
+				reportAll(b)
+			}
+		}},
+		{"substrate/report_cached", "substrate", func(b *testing.B) {
+			expcache.Default.Reset()
+			reportAll(b) // warm the cache outside the timed region
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reportAll(b)
+			}
+		}},
 		{"substrate/session10min", "substrate", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

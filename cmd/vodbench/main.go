@@ -27,6 +27,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/expcache"
 	"repro/internal/experiments"
 )
 
@@ -46,7 +47,26 @@ func run() int {
 	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "fractional allocs/op regression tolerance for -compare")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	cacheDir := flag.String("cachedir", "", "on-disk session cache directory ('auto' for the default location; empty = memory only)")
+	noCache := flag.Bool("nocache", false, "disable the session cache entirely (every session recomputed)")
 	flag.Parse()
+
+	if *noCache {
+		expcache.Default.SetDisabled(true)
+	} else if *cacheDir != "" {
+		dir := *cacheDir
+		if dir == "auto" {
+			var err error
+			if dir, err = expcache.DefaultDir(); err != nil {
+				fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+				return 1
+			}
+		}
+		if err := expcache.Default.SetDir(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "vodbench: %v\n", err)
+			return 1
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,13 +1,20 @@
 // Command vodreport regenerates every experiment and writes a single
 // markdown report — the machine-refreshable companion to EXPERIMENTS.md.
-// Experiments fan out across a worker pool; the report is assembled in
-// paper order regardless of completion order, so the output is identical
-// for any worker count.
+// Experiments fan out across the process-wide scheduler; the report is
+// assembled in paper order regardless of completion order, so the output
+// is identical for any worker count.
+//
+// Sessions are memoized through the content-addressed cache in
+// internal/expcache: duplicate sessions within one run are computed
+// once, and with -cachedir the results persist so reruns are
+// incremental across processes.
 //
 // Usage:
 //
 //	vodreport -out REPORT.md
 //	vodreport -workers 8 -out -
+//	vodreport -cachedir auto -v          # persistent cache + statistics
+//	vodreport -stable -out r.md          # byte-stable output (no timings)
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/expcache"
 	"repro/internal/experiments"
 )
 
@@ -27,7 +35,26 @@ func main() {
 	out := flag.String("out", "REPORT.md", "output file (- for stdout)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments (1 = serial)")
 	quiet := flag.Bool("q", false, "suppress per-experiment progress lines")
+	verbose := flag.Bool("v", false, "print session-cache statistics to stderr")
+	cacheDir := flag.String("cachedir", "", "on-disk session cache directory ('auto' for the default location; empty = memory only)")
+	noCache := flag.Bool("nocache", false, "disable the session cache entirely (every session recomputed)")
+	stable := flag.Bool("stable", false, "omit wall-clock timing lines so the report is byte-stable across runs")
 	flag.Parse()
+
+	if *noCache {
+		expcache.Default.SetDisabled(true)
+	} else if *cacheDir != "" {
+		dir := *cacheDir
+		if dir == "auto" {
+			var err error
+			if dir, err = expcache.DefaultDir(); err != nil {
+				log.Fatalf("vodreport: %v", err)
+			}
+		}
+		if err := expcache.Default.SetDir(dir); err != nil {
+			log.Fatalf("vodreport: %v", err)
+		}
+	}
 
 	opts := experiments.Options{Workers: *workers}
 	if !*quiet {
@@ -54,7 +81,9 @@ func main() {
 	for _, r := range results {
 		serial += r.Elapsed
 		fmt.Fprintf(&b, "\n## %s — %s\n\n", r.ID, r.Title)
-		fmt.Fprintf(&b, "_regenerated in %.1fs_\n\n", r.Elapsed.Seconds())
+		if !*stable {
+			fmt.Fprintf(&b, "_regenerated in %.1fs_\n\n", r.Elapsed.Seconds())
+		}
 		for _, t := range r.Tables {
 			b.WriteString(t.Markdown())
 			b.WriteString("\n")
@@ -68,6 +97,13 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "vodreport: %d experiments in %.2fs wall (%.2fs summed serial, %.2fx) with %d workers\n",
 			len(results), wall.Seconds(), serial.Seconds(), serial.Seconds()/wall.Seconds(), *workers)
+	}
+	if *verbose {
+		s := expcache.Default.Snapshot()
+		fmt.Fprintf(os.Stderr, "vodreport: cache: %d misses, %d memory hits, %d disk hits, %d deduped, %d bypassed\n",
+			s.Misses, s.MemHits, s.DiskHits, s.Dedup, s.Bypass)
+		fmt.Fprintf(os.Stderr, "vodreport: cache: %.1f MB read, %.1f MB written, %d disk errors; %d origins built, %d reused\n",
+			float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6, s.DiskErrors, s.OriginBuilds, s.OriginHits)
 	}
 	if *out == "-" {
 		fmt.Print(b.String())

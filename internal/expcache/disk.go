@@ -1,0 +1,135 @@
+package expcache
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/player"
+)
+
+// The on-disk tier stores one gob-encoded session result per key under
+// <dir>/<k[:2]>/<key>.gob. Every file carries a self-describing header;
+// any mismatch (format bump, engine bump, different Go toolchain or
+// architecture) makes the file a clean miss, never a wrong answer.
+// Writes go through a temp file + rename so concurrent processes
+// sharing a cache directory only ever observe complete entries.
+const (
+	diskMagic  = "vodrepro-session"
+	diskFormat = 1
+)
+
+// diskFile is the versioned wrapper around one cached result.
+type diskFile struct {
+	Magic  string
+	Format int
+	// Engine invalidates every entry when simulation semantics change
+	// (see EngineVersion).
+	Engine string
+	// GoVersion and GOARCH pin the toolchain: floating-point results are
+	// only guaranteed bit-identical for the same compiler on the same
+	// architecture (e.g. FMA contraction differs across arches).
+	GoVersion string
+	GOARCH    string
+	Result    *player.Result
+}
+
+type diskTier struct {
+	dir string
+}
+
+func (d *diskTier) path(key Key) string {
+	name := key.String()
+	return filepath.Join(d.dir, name[:2], name+".gob")
+}
+
+// load reads the entry for key. A missing file or a stale-but-valid
+// header is a clean miss (nil result, nil error); a file that cannot be
+// decoded is returned as an error so the caller can count it. n is the
+// number of bytes read.
+func (d *diskTier) load(key Key) (res *player.Result, n int64, err error) {
+	f, err := os.Open(d.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	cr := &countReader{r: bufio.NewReader(f)}
+	var df diskFile
+	if err := gob.NewDecoder(cr).Decode(&df); err != nil {
+		return nil, cr.n, fmt.Errorf("expcache: %s: %w", d.path(key), err)
+	}
+	if df.Magic != diskMagic || df.Format != diskFormat ||
+		df.Engine != EngineVersion || df.GoVersion != runtime.Version() ||
+		df.GOARCH != runtime.GOARCH || df.Result == nil {
+		return nil, cr.n, nil // stale entry from another engine/toolchain: miss
+	}
+	return df.Result, cr.n, nil
+}
+
+// store writes the entry for key atomically and returns the bytes
+// written.
+func (d *diskTier) store(key Key, res *player.Result) (int64, error) {
+	p := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	cw := &countWriter{w: bufio.NewWriter(tmp)}
+	err = gob.NewEncoder(cw).Encode(diskFile{
+		Magic:     diskMagic,
+		Format:    diskFormat,
+		Engine:    EngineVersion,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Result:    res,
+	})
+	if err == nil {
+		err = cw.w.(*bufio.Writer).Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,314 @@
+// Package expcache is a content-addressed memoization layer for
+// simulated VOD sessions. The paper's evaluation replays a fixed grid of
+// (service, profile, duration, player config) sessions — many of them
+// exact duplicates within and across experiments — and every session is
+// a deterministic pure function of its inputs, so a session result can
+// be cached under a canonical fingerprint of those inputs and reused
+// instead of recomputed.
+//
+// The cache has two tiers. The in-memory tier is a singleflight map:
+// within one process each distinct session runs exactly once, and
+// concurrent requests for the same key block on the single computation.
+// The opt-in on-disk tier (SetDir) persists results as versioned gob
+// files so reruns are incremental across processes; entries are keyed by
+// the same fingerprint and self-invalidate when the engine version, the
+// Go toolchain or the architecture changes.
+//
+// Keys never include wall-clock time, hostnames or paths — only content:
+// the fully defaulted player.Config (player.Config.Normalized, so a
+// config spelled with zero values and one spelled with the explicit
+// defaults share an entry), a content hash of the origin's presentation,
+// the netem profile schedule, the simnet config, and EngineVersion.
+// Sessions whose config carries a non-fingerprintable value (a
+// RequestGate func) bypass the cache and run directly.
+//
+// Cached results are shared: callers must treat a *player.Result
+// obtained through this package as read-only. See DESIGN.md §8.
+package expcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/manifest"
+	"repro/internal/netem"
+	"repro/internal/origin"
+	"repro/internal/player"
+	"repro/internal/services"
+	"repro/internal/simnet"
+)
+
+// EngineVersion stamps every cache key and on-disk entry. Bump it
+// whenever a change anywhere in the simulation stack (player, simnet,
+// netem, media generation, adaptation, origin) can alter any session
+// result: old entries then miss cleanly instead of resurrecting stale
+// results. The committed REPORT.md is the ground truth a bumped engine
+// must be re-verified against.
+const EngineVersion = "4"
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// MemHits are sessions served from the in-memory tier.
+	MemHits int64
+	// DiskHits are sessions served from the on-disk tier.
+	DiskHits int64
+	// Misses are sessions that were actually computed.
+	Misses int64
+	// Dedup are concurrent requests that joined an in-flight computation
+	// of the same session instead of starting their own.
+	Dedup int64
+	// Bypass are sessions that skipped the cache (disabled cache or
+	// non-fingerprintable config).
+	Bypass int64
+	// DiskErrors are unreadable/corrupt disk entries (treated as misses)
+	// plus failed writes.
+	DiskErrors int64
+	// BytesRead and BytesWritten are on-disk tier I/O volumes.
+	BytesRead, BytesWritten int64
+	// OriginBuilds and OriginHits count origin constructions and reuses.
+	OriginBuilds, OriginHits int64
+}
+
+// Cache memoizes session results and origins.
+type Cache struct {
+	disabled atomic.Bool
+
+	mu       sync.Mutex
+	sessions map[Key]*sessionCell
+	disk     *diskTier
+
+	origins Memo[Key, *origin.Origin]
+
+	memHits, diskHits, misses, dedup, bypass atomic.Int64
+	diskErrors, bytesRead, bytesWritten      atomic.Int64
+}
+
+type sessionCell struct {
+	once sync.Once
+	done atomic.Bool
+	res  *player.Result
+	err  error
+}
+
+// New returns an empty cache with no disk tier.
+func New() *Cache { return &Cache{} }
+
+// Default is the process-wide cache every experiment routes through.
+var Default = New()
+
+// SetDir enables (non-empty) or disables (empty) the on-disk tier,
+// creating the directory if needed.
+func (c *Cache) SetDir(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dir == "" {
+		c.disk = nil
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c.disk = &diskTier{dir: dir}
+	return nil
+}
+
+// SetDisabled turns the whole cache off (true): every session runs
+// directly and is counted as a bypass.
+func (c *Cache) SetDisabled(v bool) { c.disabled.Store(v) }
+
+// Reset drops the in-memory tier (sessions and origins) and zeroes the
+// counters; the disk tier and disabled flag are untouched. Not safe to
+// call concurrently with session runs.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.sessions = nil
+	c.mu.Unlock()
+	c.origins.Reset()
+	for _, a := range []*atomic.Int64{
+		&c.memHits, &c.diskHits, &c.misses, &c.dedup, &c.bypass,
+		&c.diskErrors, &c.bytesRead, &c.bytesWritten,
+	} {
+		a.Store(0)
+	}
+}
+
+// Snapshot returns the current counters.
+func (c *Cache) Snapshot() Stats {
+	ob, oh, ow := c.origins.Stats()
+	return Stats{
+		MemHits:      c.memHits.Load(),
+		DiskHits:     c.diskHits.Load(),
+		Misses:       c.misses.Load(),
+		Dedup:        c.dedup.Load(),
+		Bypass:       c.bypass.Load(),
+		DiskErrors:   c.diskErrors.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		OriginBuilds: ob,
+		OriginHits:   oh + ow,
+	}
+}
+
+// DefaultDir returns the conventional on-disk cache location
+// (~/.cache/vodrepro or the platform equivalent).
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(base, "vodrepro"), nil
+}
+
+// presKeys memoizes presentation content hashes by pointer.
+// Presentations are immutable once built (the modify package clones
+// before editing), so a pointer's content never changes; the map is
+// content-addressed and never invalidated.
+var presKeys sync.Map // *manifest.Presentation -> Key
+
+func presKey(p *manifest.Presentation) (Key, error) {
+	if k, ok := presKeys.Load(p); ok {
+		return k.(Key), nil
+	}
+	k, err := Fingerprint(p)
+	if err != nil {
+		return Key{}, err
+	}
+	presKeys.Store(p, k)
+	return k, nil
+}
+
+// sessionKey fingerprints one session: engine stamp, fully defaulted
+// player config, origin content, profile schedule, network model config.
+func sessionKey(cfg player.Config, org *origin.Origin, p *netem.Profile, netCfg simnet.Config) (Key, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		// Invalid config: run directly so the caller sees the same error
+		// the session constructor would produce.
+		return Key{}, err
+	}
+	pk, err := presKey(org.Pres)
+	if err != nil {
+		return Key{}, err
+	}
+	return Fingerprint(EngineVersion, norm, pk, p.Fingerprint(), netCfg)
+}
+
+// runSession computes a session directly (the cache-miss path).
+func runSession(cfg player.Config, org *origin.Origin, p *netem.Profile, netCfg simnet.Config) (*player.Result, error) {
+	sess, err := player.NewSession(cfg, org, simnet.New(netCfg, p))
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run(), nil
+}
+
+// RunNet returns the session result for an already-resolved player
+// config (duration override and mutator applied) over p with the given
+// network model config, computing it at most once. The result is shared:
+// treat it as read-only.
+func (c *Cache) RunNet(cfg player.Config, org *origin.Origin, p *netem.Profile, netCfg simnet.Config) (*player.Result, error) {
+	if c.disabled.Load() {
+		c.bypass.Add(1)
+		return runSession(cfg, org, p, netCfg)
+	}
+	key, err := sessionKey(cfg, org, p, netCfg)
+	if err != nil {
+		c.bypass.Add(1)
+		return runSession(cfg, org, p, netCfg)
+	}
+
+	c.mu.Lock()
+	if c.sessions == nil {
+		c.sessions = make(map[Key]*sessionCell)
+	}
+	cell, ok := c.sessions[key]
+	if !ok {
+		cell = &sessionCell{}
+		c.sessions[key] = cell
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if ok {
+		if cell.done.Load() {
+			c.memHits.Add(1)
+		} else {
+			c.dedup.Add(1)
+		}
+	}
+	cell.once.Do(func() {
+		defer cell.done.Store(true)
+		if disk != nil {
+			res, n, err := disk.load(key)
+			c.bytesRead.Add(n)
+			if err != nil {
+				c.diskErrors.Add(1)
+			} else if res != nil {
+				c.diskHits.Add(1)
+				cell.res = res
+				return
+			}
+		}
+		c.misses.Add(1)
+		cell.res, cell.err = runSession(cfg, org, p, netCfg)
+		if cell.err == nil && disk != nil {
+			if n, err := disk.store(key, cell.res); err != nil {
+				c.diskErrors.Add(1)
+			} else {
+				c.bytesWritten.Add(n)
+			}
+		}
+	})
+	return cell.res, cell.err
+}
+
+// Run is the cached counterpart of services.RunWithOrigin: it resolves
+// the config exactly as a direct run would (duration override, then
+// mutator) and looks the session up under the resolved config's
+// fingerprint.
+func (c *Cache) Run(cfg player.Config, org *origin.Origin, p *netem.Profile, dur float64, mutate func(*player.Config)) (*player.Result, error) {
+	return c.RunNet(services.Resolve(cfg, dur, mutate), org, p, simnet.DefaultConfig())
+}
+
+// Origin returns the service's origin, building it at most once per
+// distinct content (media config, build options, origin options) — two
+// services serving identical content share one origin.
+func (c *Cache) Origin(svc *services.Service) (*origin.Origin, error) {
+	key, err := Fingerprint(svc.Media, svc.Build, svc.OriginOptions)
+	if err != nil {
+		return svc.Origin() // unreachable for plain-data configs
+	}
+	return c.origins.Get(key, svc.Origin)
+}
+
+// RunService is the cached counterpart of Service.Run.
+func (c *Cache) RunService(svc *services.Service, p *netem.Profile, dur float64, mutate func(*player.Config)) (*player.Result, error) {
+	org, err := c.Origin(svc)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(svc.Player, org, p, dur, mutate)
+}
+
+// Package-level conveniences on Default.
+
+// Run calls Default.Run.
+func Run(cfg player.Config, org *origin.Origin, p *netem.Profile, dur float64, mutate func(*player.Config)) (*player.Result, error) {
+	return Default.Run(cfg, org, p, dur, mutate)
+}
+
+// RunNet calls Default.RunNet.
+func RunNet(cfg player.Config, org *origin.Origin, p *netem.Profile, netCfg simnet.Config) (*player.Result, error) {
+	return Default.RunNet(cfg, org, p, netCfg)
+}
+
+// RunService calls Default.RunService.
+func RunService(svc *services.Service, p *netem.Profile, dur float64, mutate func(*player.Config)) (*player.Result, error) {
+	return Default.RunService(svc, p, dur, mutate)
+}
+
+// Origin calls Default.Origin.
+func Origin(svc *services.Service) (*origin.Origin, error) {
+	return Default.Origin(svc)
+}

@@ -1,0 +1,478 @@
+package expcache
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/modify"
+	"repro/internal/netem"
+	"repro/internal/player"
+	"repro/internal/services"
+	"repro/internal/simnet"
+)
+
+// ---- fingerprint ----
+
+func mustKey(t *testing.T, vs ...any) Key {
+	t.Helper()
+	k, err := Fingerprint(vs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	type inner struct{ A, B float64 }
+	type outer struct {
+		Name string
+		N    int
+		In   inner
+		List []string
+		Ptr  *inner
+	}
+	v := outer{"x", 3, inner{1.5, -0.25}, []string{"a", "b"}, &inner{2, 4}}
+	k1 := mustKey(t, v)
+	// A structurally equal but separately constructed value must hash
+	// identically: keys are content, not addresses.
+	w := outer{"x", 3, inner{1.5, -0.25}, []string{"a", "b"}, &inner{2, 4}}
+	if k2 := mustKey(t, w); k2 != k1 {
+		t.Error("equal values produced different fingerprints")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	type cfg struct {
+		Rate float64
+		Name string
+		Tags []int
+	}
+	base := cfg{1.0, "a", []int{1, 2}}
+	k := mustKey(t, base)
+	for name, v := range map[string]cfg{
+		"float":    {1.0000001, "a", []int{1, 2}},
+		"string":   {1.0, "b", []int{1, 2}},
+		"elem":     {1.0, "a", []int{1, 3}},
+		"len":      {1.0, "a", []int{1, 2, 2}},
+		"nilslice": {1.0, "a", nil},
+	} {
+		if mustKey(t, v) == k {
+			t.Errorf("%s change did not change the fingerprint", name)
+		}
+	}
+	// Nil and empty slices are distinct contents.
+	if mustKey(t, []int(nil)) == mustKey(t, []int{}) {
+		t.Error("nil and empty slice fingerprint identically")
+	}
+	// Same field values under a different named type must not collide:
+	// the type identity is part of the content.
+	type cfg2 struct {
+		Rate float64
+		Name string
+		Tags []int
+	}
+	if mustKey(t, cfg2{1.0, "a", []int{1, 2}}) == k {
+		t.Error("distinct struct types with equal fields collide")
+	}
+}
+
+func TestFingerprintMapOrderIndependent(t *testing.T) {
+	// Build the same map contents twice by different insertion orders and
+	// hash each several times: Go randomizes iteration, so any order
+	// dependence would show up as unequal keys.
+	m1 := map[string]int{}
+	m2 := map[string]int{}
+	for i := 0; i < 64; i++ {
+		m1[fmt.Sprint(i)] = i
+	}
+	for i := 63; i >= 0; i-- {
+		m2[fmt.Sprint(i)] = i
+	}
+	k := mustKey(t, m1)
+	for i := 0; i < 8; i++ {
+		if mustKey(t, m1) != k || mustKey(t, m2) != k {
+			t.Fatal("map fingerprint depends on iteration or insertion order")
+		}
+	}
+}
+
+func TestFingerprintCycles(t *testing.T) {
+	type node struct {
+		V    int
+		Next *node
+	}
+	mk := func(vs ...int) *node {
+		head := &node{V: vs[0]}
+		cur := head
+		for _, v := range vs[1:] {
+			cur.Next = &node{V: v}
+			cur = cur.Next
+		}
+		cur.Next = head // close the cycle
+		return head
+	}
+	k1 := mustKey(t, mk(1, 2))
+	if k1 != mustKey(t, mk(1, 2)) {
+		t.Error("identical cycles fingerprint differently")
+	}
+	if k1 == mustKey(t, mk(1, 2, 2)) {
+		t.Error("different cycles collide")
+	}
+}
+
+func TestFingerprintUncacheable(t *testing.T) {
+	type withGate struct {
+		N    int
+		Gate func() bool
+	}
+	if _, err := Fingerprint(withGate{1, func() bool { return true }}); !errors.Is(err, ErrUncacheable) {
+		t.Errorf("non-nil func: got %v, want ErrUncacheable", err)
+	}
+	// A nil func is plain absent content, not an error.
+	if _, err := Fingerprint(withGate{1, nil}); err != nil {
+		t.Errorf("nil func: %v", err)
+	}
+}
+
+// ---- memo ----
+
+// TestMemoErrorCachedForever pins the deliberate contract: a failed
+// build is cached like a value and never retried (every build in this
+// repository is deterministic, so the failure is permanent).
+func TestMemoErrorCachedForever(t *testing.T) {
+	var m Memo[string, int]
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	build := func() (int, error) {
+		calls.Add(1)
+		return 0, boom
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Get("k", build); err != boom {
+			t.Fatalf("call %d: got %v, want the original build error", i, err)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("failed build ran %d times, want exactly 1 (errors are cached)", n)
+	}
+	if b, _, _ := m.Stats(); b != 1 {
+		t.Errorf("builds counter = %d, want 1", b)
+	}
+}
+
+// TestMemoConcurrent hammers the memo from many goroutines: every key's
+// builder must run exactly once, unrelated keys must not serialise each
+// other, and all callers must observe the same value. Run under -race
+// this is the cache-safety proof (migrated from the old keyedOnce test).
+func TestMemoConcurrent(t *testing.T) {
+	const keys = 12
+	const callers = 16
+	var m Memo[int, int]
+	var builds [keys]atomic.Int32
+	var wg sync.WaitGroup
+	errc := make(chan error, keys*callers)
+	for k := 0; k < keys; k++ {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				v, err := m.Get(k, func() (int, error) {
+					builds[k].Add(1)
+					return k * k, nil
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if v != k*k {
+					errc <- fmt.Errorf("key %d: got %d", k, v)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	for k := 0; k < keys; k++ {
+		if n := builds[k].Load(); n != 1 {
+			t.Errorf("key %d built %d times", k, n)
+		}
+	}
+	b, h, w := m.Stats()
+	if b != keys {
+		t.Errorf("builds = %d, want %d", b, keys)
+	}
+	if b+h+w != keys*callers {
+		t.Errorf("builds+hits+waits = %d, want %d calls accounted for", b+h+w, keys*callers)
+	}
+}
+
+// ---- session cache ----
+
+func testProfile() *netem.Profile { return netem.Constant("cachetest", 6e6, 120) }
+
+// TestRunNetCounters: the same session requested twice computes once;
+// counters record one miss then one memory hit, and both callers get the
+// same shared result pointer.
+func TestRunNetCounters(t *testing.T) {
+	c := New()
+	svc := services.ByName("H1")
+	org, err := c.Origin(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.Run(svc.Player, org, testProfile(), 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Run(svc.Player, org, testProfile(), 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("second identical run did not return the shared cached result")
+	}
+	s := c.Snapshot()
+	if s.Misses != 1 || s.MemHits != 1 || s.Bypass != 0 {
+		t.Errorf("counters = %+v, want 1 miss, 1 memory hit", s)
+	}
+	// A different duration is different content: a new miss.
+	if _, err := c.Run(svc.Player, org, testProfile(), 30, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Snapshot(); s.Misses != 2 {
+		t.Errorf("distinct session did not miss: %+v", s)
+	}
+}
+
+// TestRunNetConcurrentSingleflight: many concurrent requests for one
+// session produce exactly one computation; the rest are hits or dedups.
+func TestRunNetConcurrentSingleflight(t *testing.T) {
+	c := New()
+	svc := services.ByName("H1")
+	org, err := c.Origin(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	results := make([]*player.Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Run(svc.Player, org, testProfile(), 60, nil)
+			if err == nil {
+				results[i] = r
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result instance", i)
+		}
+	}
+	s := c.Snapshot()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 computation", s.Misses)
+	}
+	if s.MemHits+s.Dedup != callers-1 {
+		t.Errorf("hits+dedup = %d, want %d", s.MemHits+s.Dedup, callers-1)
+	}
+}
+
+// TestRunNetBypass: a RequestGate func has no content identity, so the
+// session must bypass the cache and recompute every time; disabling the
+// cache bypasses everything.
+func TestRunNetBypass(t *testing.T) {
+	c := New()
+	svc := services.ByName("H1")
+	org, err := c.Origin(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := modify.RejectAfter(4)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Run(svc.Player, org, testProfile(), 60, func(p *player.Config) {
+			p.RequestGate = gate
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Snapshot(); s.Bypass != 2 || s.Misses != 0 {
+		t.Errorf("gated sessions: %+v, want 2 bypasses and no cache traffic", s)
+	}
+
+	c.SetDisabled(true)
+	if _, err := c.Run(svc.Player, org, testProfile(), 60, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Snapshot(); s.Bypass != 3 {
+		t.Errorf("disabled cache did not bypass: %+v", s)
+	}
+}
+
+// ---- disk tier ----
+
+// TestDiskRoundTrip: a session stored by one cache is served from disk
+// by a fresh cache sharing the directory, bit-identical to recomputation.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	svc := services.ByName("H1")
+
+	warm := New()
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := warm.RunService(svc, testProfile(), 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Snapshot(); s.Misses != 1 || s.BytesWritten == 0 {
+		t.Fatalf("store pass: %+v, want 1 miss with bytes written", s)
+	}
+
+	cold := New()
+	if err := cold.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cold.RunService(svc, testProfile(), 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cold.Snapshot()
+	if s.DiskHits != 1 || s.Misses != 0 || s.BytesRead == 0 {
+		t.Fatalf("load pass: %+v, want 1 disk hit and no computation", s)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("disk round-trip altered the session result")
+	}
+
+	// Recompute directly and compare: the persisted result must equal a
+	// fresh computation, not merely itself.
+	direct := New()
+	direct.SetDisabled(true)
+	r3, err := direct.RunService(svc, testProfile(), 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r2, r3) {
+		t.Error("disk-served result differs from a fresh computation")
+	}
+}
+
+// sessionDiskPath resolves the on-disk path for svc's 60 s test session.
+func sessionDiskPath(t *testing.T, dir string, svc *services.Service) string {
+	t.Helper()
+	org, err := svc.Origin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := sessionKey(services.Resolve(svc.Player, 60, nil), org, testProfile(), simnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return (&diskTier{dir: dir}).path(key)
+}
+
+// TestDiskCorruptEntry: an undecodable file is counted as a disk error
+// and the session is recomputed — corruption can cost time, never
+// correctness.
+func TestDiskCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	svc := services.ByName("H1")
+	p := sessionDiskPath(t, dir, svc)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunService(svc, testProfile(), 60, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.DiskErrors == 0 || s.Misses != 1 || s.DiskHits != 0 {
+		t.Errorf("corrupt entry: %+v, want a disk error and a recomputation", s)
+	}
+}
+
+// TestDiskEngineMismatch: a well-formed entry written by a different
+// engine version is a clean miss (no error) — the self-invalidation that
+// makes EngineVersion bumps safe.
+func TestDiskEngineMismatch(t *testing.T) {
+	dir := t.TempDir()
+	svc := services.ByName("H1")
+	p := sessionDiskPath(t, dir, svc)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = gob.NewEncoder(f).Encode(diskFile{
+		Magic:     diskMagic,
+		Format:    diskFormat,
+		Engine:    EngineVersion + "-stale",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Result:    &player.Result{},
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunService(svc, testProfile(), 60, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.DiskErrors != 0 || s.DiskHits != 0 || s.Misses != 1 {
+		t.Errorf("stale-engine entry: %+v, want a clean miss", s)
+	}
+}
+
+// TestOriginSharedByContent: two services serving identical content
+// share one origin build.
+func TestOriginSharedByContent(t *testing.T) {
+	c := New()
+	svc := services.ByName("H1")
+	o1, err := c.Origin(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := c.Origin(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 {
+		t.Error("same service built two origins")
+	}
+	s := c.Snapshot()
+	if s.OriginBuilds != 1 || s.OriginHits != 1 {
+		t.Errorf("origin counters: %+v", s)
+	}
+}

@@ -1,0 +1,203 @@
+package expcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// Key is a content-addressed cache key: the SHA-256 of the canonical
+// encoding of every input that can influence the cached value.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (also the on-disk file name).
+func (k Key) String() string { return fmt.Sprintf("%x", k[:]) }
+
+// ErrUncacheable marks a value the canonical encoder refuses to
+// fingerprint: a non-nil func (e.g. a RequestGate probe) or channel has
+// no content identity, so sessions configured with one bypass the cache
+// and run directly.
+var ErrUncacheable = errors.New("expcache: value is not fingerprintable")
+
+// Fingerprint hashes the values into one content-addressed key. The
+// encoding is canonical — independent of map iteration order and pointer
+// addresses — and total over plain data: bools, integers, floats
+// (hashed by bit pattern, so -0 ≠ +0 and every NaN payload is itself),
+// strings, slices, arrays, maps, structs (exported and unexported
+// fields, in declaration order, with the type identity mixed in),
+// pointers and interfaces (by concrete type identity plus pointee).
+// Shared/cyclic pointers hash by first-visit order, so self-referential
+// structures terminate. Non-nil funcs and channels return ErrUncacheable.
+func Fingerprint(vs ...any) (Key, error) {
+	h := &hasher{h: sha256.New()}
+	for _, v := range vs {
+		if err := h.walk(reflect.ValueOf(v)); err != nil {
+			return Key{}, err
+		}
+	}
+	var k Key
+	h.h.Sum(k[:0])
+	return k, nil
+}
+
+// hasher streams tagged values into a hash. Every emission is prefixed
+// with a kind tag byte so values of different shapes cannot collide by
+// concatenation (e.g. ["ab","c"] vs ["a","bc"]).
+type hasher struct {
+	h       hash.Hash
+	buf     [9]byte
+	visited map[uintptr]int
+}
+
+func (h *hasher) tag(b byte) {
+	h.buf[0] = b
+	h.h.Write(h.buf[:1])
+}
+
+func (h *hasher) u64(tag byte, u uint64) {
+	h.buf[0] = tag
+	binary.LittleEndian.PutUint64(h.buf[1:], u)
+	h.h.Write(h.buf[:9])
+}
+
+func (h *hasher) str(tag byte, s string) {
+	h.u64(tag, uint64(len(s)))
+	io.WriteString(h.h, s)
+}
+
+// typeIdentity names a type unambiguously across packages.
+func typeIdentity(t reflect.Type) string {
+	if t.Name() != "" && t.PkgPath() != "" {
+		return t.PkgPath() + "." + t.Name()
+	}
+	return t.String()
+}
+
+func (h *hasher) walk(v reflect.Value) error {
+	if !v.IsValid() {
+		h.tag('z') // untyped nil
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		b := uint64(0)
+		if v.Bool() {
+			b = 1
+		}
+		h.u64('b', b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		h.u64('i', uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		h.u64('u', v.Uint())
+	case reflect.Float32, reflect.Float64:
+		h.u64('f', math.Float64bits(v.Float()))
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		h.u64('r', math.Float64bits(real(c)))
+		h.u64('j', math.Float64bits(imag(c)))
+	case reflect.String:
+		h.str('s', v.String())
+	case reflect.Slice:
+		if v.IsNil() {
+			h.tag('n')
+			return nil
+		}
+		return h.walkSeq(v)
+	case reflect.Array:
+		return h.walkSeq(v)
+	case reflect.Map:
+		return h.walkMap(v)
+	case reflect.Pointer:
+		if v.IsNil() {
+			h.tag('n')
+			return nil
+		}
+		addr := v.Pointer()
+		if ord, ok := h.visited[addr]; ok {
+			// Already hashed this pointee: refer back by visit order so
+			// aliasing/cycles are captured without address dependence.
+			h.u64('c', uint64(ord))
+			return nil
+		}
+		if h.visited == nil {
+			h.visited = make(map[uintptr]int)
+		}
+		h.visited[addr] = len(h.visited)
+		h.tag('p')
+		return h.walk(v.Elem())
+	case reflect.Interface:
+		if v.IsNil() {
+			h.tag('n')
+			return nil
+		}
+		h.str('t', typeIdentity(v.Elem().Type()))
+		return h.walk(v.Elem())
+	case reflect.Struct:
+		t := v.Type()
+		h.str('T', typeIdentity(t))
+		h.u64('L', uint64(t.NumField()))
+		for i := 0; i < t.NumField(); i++ {
+			h.str('F', t.Field(i).Name)
+			if err := h.walk(v.Field(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Func, reflect.Chan:
+		if v.IsNil() {
+			h.tag('n')
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrUncacheable, v.Type())
+	default:
+		return fmt.Errorf("%w: unsupported kind %s", ErrUncacheable, v.Kind())
+	}
+	return nil
+}
+
+func (h *hasher) walkSeq(v reflect.Value) error {
+	h.u64('l', uint64(v.Len()))
+	for i := 0; i < v.Len(); i++ {
+		if err := h.walk(v.Index(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walkMap hashes a map independent of iteration order: each entry is
+// hashed into its own digest (with a fresh visit table, so the digests
+// do not depend on which entry was enumerated first) and the sorted
+// digests are folded into the parent hash.
+func (h *hasher) walkMap(v reflect.Value) error {
+	if v.IsNil() {
+		h.tag('n')
+		return nil
+	}
+	h.u64('m', uint64(v.Len()))
+	digests := make([][sha256.Size]byte, 0, v.Len())
+	iter := v.MapRange()
+	for iter.Next() {
+		sub := &hasher{h: sha256.New()}
+		if err := sub.walk(iter.Key()); err != nil {
+			return err
+		}
+		if err := sub.walk(iter.Value()); err != nil {
+			return err
+		}
+		var d [sha256.Size]byte
+		sub.h.Sum(d[:0])
+		digests = append(digests, d)
+	}
+	sort.Slice(digests, func(i, j int) bool { return bytes.Compare(digests[i][:], digests[j][:]) < 0 })
+	for _, d := range digests {
+		h.h.Write(d[:])
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package expcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a typed singleflight memo (the generalization of the old
+// experiments.keyedOnce): the first caller for a key runs the build
+// while concurrent callers for the same key block on the same cell;
+// later callers return the cached value without blocking anyone on a
+// different key. The map lock is held only to find or insert the cell.
+//
+// Both values and errors are cached forever: a failed build is NOT
+// retried on the next Get. That is deliberate — every build in this
+// repository is deterministic (fixed seeds, no I/O), so a failure is
+// permanent and retrying would just repeat the work; callers that need
+// retry semantics must use a fresh Memo. This contract is pinned by
+// TestMemoErrorCachedForever.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoCell[V]
+
+	builds atomic.Int64
+	hits   atomic.Int64
+	waits  atomic.Int64
+}
+
+type memoCell[V any] struct {
+	once sync.Once
+	done atomic.Bool
+	val  V
+	err  error
+}
+
+// Get returns the memoized value for key, building it on first use.
+func (mo *Memo[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	mo.mu.Lock()
+	if mo.m == nil {
+		mo.m = make(map[K]*memoCell[V])
+	}
+	cell, ok := mo.m[key]
+	if !ok {
+		cell = &memoCell[V]{}
+		mo.m[key] = cell
+	}
+	mo.mu.Unlock()
+	if ok {
+		// Hit vs wait is advisory (the build may finish between the load
+		// and Do); the counters are for observability, not control flow.
+		if cell.done.Load() {
+			mo.hits.Add(1)
+		} else {
+			mo.waits.Add(1)
+		}
+	}
+	cell.once.Do(func() {
+		defer cell.done.Store(true)
+		mo.builds.Add(1)
+		cell.val, cell.err = build()
+	})
+	return cell.val, cell.err
+}
+
+// Len returns the number of distinct keys seen.
+func (mo *Memo[K, V]) Len() int {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return len(mo.m)
+}
+
+// Stats returns the cumulative build/hit/wait counts. builds is exactly
+// one per distinct key; hits are calls served from a completed cell;
+// waits are calls that joined an in-flight build.
+func (mo *Memo[K, V]) Stats() (builds, hits, waits int64) {
+	return mo.builds.Load(), mo.hits.Load(), mo.waits.Load()
+}
+
+// Reset drops every memoized value (and error) and zeroes the counters.
+// Not safe to call concurrently with Get.
+func (mo *Memo[K, V]) Reset() {
+	mo.mu.Lock()
+	mo.m = nil
+	mo.mu.Unlock()
+	mo.builds.Store(0)
+	mo.hits.Store(0)
+	mo.waits.Store(0)
+}

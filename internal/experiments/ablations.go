@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adaptation"
 	"repro/internal/energy"
+	"repro/internal/expcache"
 	"repro/internal/media"
 	"repro/internal/netem"
 	"repro/internal/player"
@@ -29,7 +31,7 @@ import (
 // resume thresholds sit within the LTE RRC demotion timer keep the radio
 // in its high-power state through every download pause; widening the gap
 // beyond the timer lets the radio demote and saves energy.
-func AblEnergy() ([]*textplot.Table, []string, error) {
+func AblEnergy(ctx context.Context) ([]*textplot.Table, []string, error) {
 	model := energy.DefaultLTE()
 	t := &textplot.Table{
 		Title: "Ablation §3.3.2 — download-control thresholds vs radio energy (10 Mbit/s, 600 s)",
@@ -43,7 +45,7 @@ func AblEnergy() ([]*textplot.Table, []string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := services.RunWithOrigin(svc.Player, org, p, 600, nil)
+		res, err := expcache.Run(svc.Player, org, p, 600, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -56,7 +58,7 @@ func AblEnergy() ([]*textplot.Table, []string, error) {
 		if wide.ResumeThresholdSec < 4 {
 			wide.ResumeThresholdSec = 4
 		}
-		res2, err := services.RunWithOrigin(wide, org, p, 600, nil)
+		res2, err := expcache.Run(wide, org, p, 600, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -80,7 +82,7 @@ func AblEnergy() ([]*textplot.Table, []string, error) {
 // finer granularity (less low-track time, fewer startup stalls) but cost
 // more requests (per-request latency overhead); long segments amortise
 // requests but react slowly.
-func AblSegDur() ([]*textplot.Table, []string, error) {
+func AblSegDur(ctx context.Context) ([]*textplot.Table, []string, error) {
 	t := &textplot.Table{
 		Title:  "Ablation §3.1 — segment duration tradeoff (ExoPlayer model, 14 profiles, medians)",
 		Header: []string{"segment dur", "requests", "avg bitrate (Mbps)", "stall s", "switches", "low-track share (5 low profiles)"},
@@ -94,7 +96,7 @@ func AblSegDur() ([]*textplot.Table, []string, error) {
 		var low []float64
 		for _, p := range cellular() {
 			cfg := exoPlayer(fmt.Sprintf("seg%.0f", segDur))
-			res, err := services.RunWithOrigin(cfg, org, p, 600, nil)
+			res, err := expcache.Run(cfg, org, p, 600, nil)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -125,7 +127,7 @@ func AblSegDur() ([]*textplot.Table, []string, error) {
 // connection (negative skew, approximating a bandwidth-proportional
 // split) helps — exactly the paper's "split point shall be selected
 // based on per connection bandwidth".
-func AblSplit() ([]*textplot.Table, []string, error) {
+func AblSplit(ctx context.Context) ([]*textplot.Table, []string, error) {
 	d3 := services.ByName("D3")
 	org, err := serviceOrigin(d3)
 	if err != nil {
@@ -144,11 +146,12 @@ func AblSplit() ([]*textplot.Table, []string, error) {
 			cfg := d3.Player
 			cfg.SessionDuration = 600
 			cfg.SplitSkew = skew
-			sess, err := player.NewSession(cfg, org, simnet.New(netCfg, p))
+			// RunNet keys the cache on the custom netCfg (the split-point
+			// ConnCapSequence) alongside the resolved player config.
+			res, err := expcache.RunNet(cfg, org, p, netCfg)
 			if err != nil {
 				return nil, nil, err
 			}
-			res := sess.Run()
 			rep := qoe.FromResult(res)
 			rate = append(rate, rep.AvgBitrate)
 			stall = append(stall, rep.StallSec)
@@ -174,7 +177,7 @@ func AblSplit() ([]*textplot.Table, []string, error) {
 // AblSRCap sweeps the §4.1.3 replacement cap: which rung to stop
 // replacing at, trading wasted data against low-track playtime ("further
 // work is needed in fine tuning the threshold selection").
-func AblSRCap() ([]*textplot.Table, []string, error) {
+func AblSRCap(ctx context.Context) ([]*textplot.Table, []string, error) {
 	org, err := exoContent(4, 42)
 	if err != nil {
 		return nil, nil, err
@@ -192,7 +195,7 @@ func AblSRCap() ([]*textplot.Table, []string, error) {
 				cfg.Replacement = replacement.PerSegment{MinBufferSec: 30, CapTrack: cap}
 				cfg.MidBufferDiscard = true
 			}
-			res, err := services.RunWithOrigin(cfg, org, p, 600, nil)
+			res, err := expcache.Run(cfg, org, p, 600, nil)
 			if err != nil {
 				return a, err
 			}
@@ -239,7 +242,7 @@ func AblSRCap() ([]*textplot.Table, []string, error) {
 // AblAlgorithms races the adaptation algorithms of the literature on
 // identical content and traces: the deployed throughput rules, ExoPlayer
 // hysteresis, BBA, FESTIVE and probe-and-adapt.
-func AblAlgorithms() ([]*textplot.Table, []string, error) {
+func AblAlgorithms(ctx context.Context) ([]*textplot.Table, []string, error) {
 	org, err := exoContent(4, 31)
 	if err != nil {
 		return nil, nil, err
@@ -268,14 +271,14 @@ func AblAlgorithms() ([]*textplot.Table, []string, error) {
 		}
 	}
 	type stats struct{ rate, stall, switches, low float64 }
-	perRun, err := sweep(jobs, func(j job) (stats, error) {
+	perRun, err := sweep(ctx, jobs, func(j job) (stats, error) {
 		a := algos[j.ai]
 		cfg := exoPlayer(a.name)
 		cfg.Algorithm = a.mk()
 		if a.est != nil {
 			cfg.Estimator = a.est()
 		}
-		res, err := services.RunWithOrigin(cfg, org, cellular()[j.pi], 600, nil)
+		res, err := expcache.Run(cfg, org, cellular()[j.pi], 600, nil)
 		if err != nil {
 			return stats{}, err
 		}
@@ -310,7 +313,7 @@ func AblAlgorithms() ([]*textplot.Table, []string, error) {
 // high bottom track makes it stall on the lowest profiles — is rerun
 // with 1-, 2- and 3-segment recovery gates: a larger gate trades a
 // longer individual rebuffer for fewer immediate re-stalls.
-func AblRecovery() ([]*textplot.Table, []string, error) {
+func AblRecovery(ctx context.Context) ([]*textplot.Table, []string, error) {
 	h5 := services.ByName("H5")
 	org, err := serviceOrigin(h5)
 	if err != nil {
@@ -324,7 +327,7 @@ func AblRecovery() ([]*textplot.Table, []string, error) {
 		stalls, repeats := 0, 0
 		var stallSec, gaps []float64
 		for _, p := range cellular()[:3] {
-			res, err := services.RunWithOrigin(h5.Player, org, p, 600, func(c *player.Config) {
+			res, err := expcache.Run(h5.Player, org, p, 600, func(c *player.Config) {
 				c.RecoverySec = h5.Media.SegmentDuration * float64(nseg)
 				c.RecoverySegments = nseg
 			})
@@ -355,7 +358,7 @@ func AblRecovery() ([]*textplot.Table, []string, error) {
 // tradeoff: "a high pausing threshold … may lead to more data wastage
 // when users abort the playback". Sessions are cut off mid-stream and
 // the downloaded-but-never-displayed bytes are charged as waste.
-func AblAbandon() ([]*textplot.Table, []string, error) {
+func AblAbandon(ctx context.Context) ([]*textplot.Table, []string, error) {
 	base := services.ByName("H1")
 	org, err := serviceOrigin(base)
 	if err != nil {
@@ -373,7 +376,7 @@ func AblAbandon() ([]*textplot.Table, []string, error) {
 		var w120, s120, w300, stalls []float64
 		for _, p := range cellular()[3:9] {
 			for _, cut := range []float64{120, 300} {
-				res, err := services.RunWithOrigin(base.Player, org, p, cut, func(c *player.Config) {
+				res, err := expcache.Run(base.Player, org, p, cut, func(c *player.Config) {
 					c.PauseThresholdSec = thr.pause
 					c.ResumeThresholdSec = thr.resume
 					c.Replacement = nil // isolate the threshold effect from SR
@@ -389,7 +392,7 @@ func AblAbandon() ([]*textplot.Table, []string, error) {
 					w300 = append(w300, wasted/1e6)
 				}
 			}
-			full, err := services.RunWithOrigin(base.Player, org, p, 600, func(c *player.Config) {
+			full, err := expcache.Run(base.Player, org, p, 600, func(c *player.Config) {
 				c.PauseThresholdSec = thr.pause
 				c.ResumeThresholdSec = thr.resume
 				c.Replacement = nil
@@ -446,7 +449,7 @@ func unwatchedBytes(res *player.Result) float64 {
 // paper cites (§5): three identical players share one link; algorithms
 // differ in how evenly and how fully they use it. Jain's index over the
 // players' average bitrates measures fairness.
-func AblFairness() ([]*textplot.Table, []string, error) {
+func AblFairness(ctx context.Context) ([]*textplot.Table, []string, error) {
 	org, err := exoContent(4, 21)
 	if err != nil {
 		return nil, nil, err
@@ -471,7 +474,7 @@ func AblFairness() ([]*textplot.Table, []string, error) {
 		Header: []string{"algorithm", "mean avg bitrate (Mbps)", "Jain fairness", "link utilisation",
 			"switches/player", "stall s/player"},
 	}
-	rows, err := sweep(algos, func(a algo) ([]string, error) {
+	rows, err := sweep(ctx, algos, func(a algo) ([]string, error) {
 		net := simnet.New(simnet.DefaultConfig(), netem.Constant("shared", linkBps, 600))
 		group := player.NewGroup()
 		for i := 0; i < 3; i++ {

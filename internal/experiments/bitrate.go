@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adaptation"
+	"repro/internal/expcache"
 	"repro/internal/modify"
 	"repro/internal/netem"
 	"repro/internal/origin"
@@ -16,7 +18,7 @@ import (
 // its bandwidth-utilisation measurement: D2 selects the same level for
 // both variants (it only reads the declared bitrate) and achieves ~34%
 // link utilisation at a constant 2 Mbit/s.
-func Fig12() ([]*textplot.Table, []string, error) {
+func Fig12(ctx context.Context) ([]*textplot.Table, []string, error) {
 	d2 := services.ByName("D2")
 	org, err := serviceOrigin(d2)
 	if err != nil {
@@ -43,11 +45,11 @@ func Fig12() ([]*textplot.Table, []string, error) {
 				c.StartupTrack = len(shifted.Pres.Video) - 1
 			}
 		}
-		r1, err := services.RunWithOrigin(d2.Player, shifted, p, 300, adjust)
+		r1, err := expcache.Run(d2.Player, shifted, p, 300, adjust)
 		if err != nil {
 			return nil, nil, err
 		}
-		r2, err := services.RunWithOrigin(d2.Player, dropped, p, 300, adjust)
+		r2, err := expcache.Run(d2.Player, dropped, p, 300, adjust)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -92,7 +94,7 @@ func steadyUtilisation(res *player.Result, bw float64) float64 {
 // over the 14 profiles. Considering actual bitrates cuts low-track time
 // sharply (paper: ≥43% less bottom-track time on the 3 lowest profiles,
 // median +10.22% average bitrate, stalls unchanged).
-func Fig13() ([]*textplot.Table, []string, error) {
+func Fig13(ctx context.Context) ([]*textplot.Table, []string, error) {
 	org, err := exoContent(4, 77)
 	if err != nil {
 		return nil, nil, err
@@ -119,7 +121,7 @@ func Fig13() ([]*textplot.Table, []string, error) {
 		for _, p := range cellular() {
 			cfg := exoPlayer("exo13")
 			v.mut(&cfg)
-			res, err := services.RunWithOrigin(cfg, org, p, 600, nil)
+			res, err := expcache.Run(cfg, org, p, 600, nil)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/expcache"
 	"repro/internal/netem"
 	"repro/internal/player"
 	"repro/internal/probe"
@@ -15,17 +17,21 @@ import (
 // apart under low bandwidth, and stalls strike while ~100 s of video sits
 // in the buffer. The paper reports average video/audio progress gaps of
 // 69.9 s and 52.5 s on the two lowest-bandwidth profiles.
-func Fig6() ([]*textplot.Table, []string, error) {
+func Fig6(ctx context.Context) ([]*textplot.Table, []string, error) {
 	d1 := services.ByName("D1")
 	t := &textplot.Table{
 		Title:  "Figure 6 — D1 audio/video desynchronisation (two lowest profiles)",
 		Header: []string{"profile", "avg |video-audio| buffer (s)", "stalls", "stall sec", "video buffered at stalls (s)"},
 	}
 	var plots []string
+	var base *player.Result // profile-1 session, reused for the what-if table
 	for i, p := range cellular()[:2] {
 		res, err := run(d1, p, 600)
 		if err != nil {
 			return nil, nil, err
+		}
+		if i == 0 {
+			base = res
 		}
 		var diffs []float64
 		var xs, vb, ab []float64
@@ -60,7 +66,7 @@ func Fig6() ([]*textplot.Table, []string, error) {
 	syncedCfg := d1.Player
 	syncedCfg.Audio = 0 // AudioSynced
 	synced.Player = syncedCfg
-	res, err := synced.Run(cellular()[0], 600, nil)
+	res, err := expcache.RunService(&synced, cellular()[0], 600, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -68,10 +74,8 @@ func Fig6() ([]*textplot.Table, []string, error) {
 		Title:  "Figure 6 (what-if) — D1 with synced audio/video scheduling, profile 1",
 		Header: []string{"variant", "stalls", "stall sec"},
 	}
-	base, err := run(d1, cellular()[0], 600)
-	if err != nil {
-		return nil, nil, err
-	}
+	// The shipped-config baseline is the profile-1 session already
+	// computed in the loop above; no second run.
 	t2.AddRow("desynced (as shipped)", fmt.Sprintf("%d", len(base.Stalls)), textplot.Secs(base.TotalStall()))
 	t2.AddRow("synced (best practice)", fmt.Sprintf("%d", len(res.Stalls)), textplot.Secs(res.TotalStall()))
 	return []*textplot.Table{t, t2}, plots, nil
@@ -81,7 +85,7 @@ func Fig6() ([]*textplot.Table, []string, error) {
 // headroom — after each download pause the buffer is nearly empty when
 // fetching resumes, so transient dips stall playback. Raising the
 // threshold removes the stalls.
-func Fig7() ([]*textplot.Table, []string, error) {
+func Fig7(ctx context.Context) ([]*textplot.Table, []string, error) {
 	s2 := services.ByName("S2")
 	t := &textplot.Table{
 		Title:  "Figure 7 — S2 stalls vs resuming threshold (14 cellular profiles)",
@@ -99,7 +103,7 @@ func Fig7() ([]*textplot.Table, []string, error) {
 		withStalls, total := 0, 0
 		var secs []float64
 		for pi, p := range cellular() {
-			res, err := s2.Run(p, 600, func(c *player.Config) { c.ResumeThresholdSec = v.resume })
+			res, err := expcache.RunService(s2, p, 600, func(c *player.Config) { c.ResumeThresholdSec = v.resume })
 			if err != nil {
 				return nil, nil, err
 			}
@@ -129,7 +133,7 @@ func Fig7() ([]*textplot.Table, []string, error) {
 
 // Fig8 reproduces Figure 8: at a constant 500 kbit/s, D1 keeps switching
 // tracks while the other services converge.
-func Fig8() ([]*textplot.Table, []string, error) {
+func Fig8(ctx context.Context) ([]*textplot.Table, []string, error) {
 	t := &textplot.Table{
 		Title:  "Figure 8 — steady-state behaviour at constant 500 kbit/s",
 		Header: []string{"service", "distinct tracks (2nd half)", "switches (2nd half)", "converged declared (Mbps)"},
@@ -163,7 +167,7 @@ func Fig8() ([]*textplot.Table, []string, error) {
 // Fig9 reproduces Figure 9: the declared bitrate each service converges
 // to under constant bandwidth. Aggressive services (D1, D3, S1) track
 // y≈x; the conservative cluster stays below 0.75x; D2 below ~0.5–0.6x.
-func Fig9() ([]*textplot.Table, []string, error) {
+func Fig9(ctx context.Context) ([]*textplot.Table, []string, error) {
 	bws := []float64{0.5e6, 1e6, 1.5e6, 2e6, 2.5e6, 3e6, 3.5e6, 4e6}
 	names := []string{"H1", "H3", "D1", "D2", "D3", "S1"}
 	t := &textplot.Table{
@@ -180,7 +184,7 @@ func Fig9() ([]*textplot.Table, []string, error) {
 			cells = append(cells, cell{bw, n})
 		}
 	}
-	states, err := sweep(cells, func(c cell) (probe.Steady, error) {
+	states, err := sweep(ctx, cells, func(c cell) (probe.Steady, error) {
 		return probe.SteadyState(services.ByName(c.name), c.bw)
 	})
 	if err != nil {

@@ -7,11 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/adaptation"
+	"repro/internal/expcache"
 	"repro/internal/manifest"
 	"repro/internal/media"
 	"repro/internal/netem"
@@ -27,8 +29,9 @@ type Experiment struct {
 	ID string
 	// Title describes the artifact.
 	Title string
-	// Run regenerates it.
-	Run func() ([]*textplot.Table, []string, error)
+	// Run regenerates it. Cancelling ctx stops the experiment's internal
+	// fan-out early; outputs are only meaningful when Run returns nil.
+	Run func(ctx context.Context) ([]*textplot.Table, []string, error)
 }
 
 // All returns every experiment in paper order.
@@ -83,22 +86,20 @@ func ByID(id string) *Experiment {
 // cellular caches the 14 synthetic traces.
 var cellular = sync.OnceValue(netem.CellularSet)
 
-// originCache avoids re-encoding a service's content per profile. Each
-// origin is built exactly once even when concurrent experiments request
-// it, and building one service's origin does not block another's.
-var originCache keyedOnce[string, *origin.Origin]
-
+// serviceOrigin returns the service's origin from the content-addressed
+// cache: built exactly once per distinct content even when concurrent
+// experiments request it, without one service's build blocking
+// another's.
 func serviceOrigin(svc *services.Service) (*origin.Origin, error) {
-	return originCache.get(svc.Name, svc.Origin)
+	return expcache.Origin(svc)
 }
 
-// run streams a stock service over a profile for dur seconds.
+// run streams a stock service over a profile for dur seconds, through
+// the session cache — an identical (service, profile, duration) request
+// anywhere in the report reuses the first computation. The result is
+// shared; treat it as read-only.
 func run(svc *services.Service, p *netem.Profile, dur float64) (*player.Result, error) {
-	org, err := serviceOrigin(svc)
-	if err != nil {
-		return nil, err
-	}
-	return services.RunWithOrigin(svc.Player, org, p, dur, nil)
+	return expcache.RunService(svc, p, dur, nil)
 }
 
 // ---- the ExoPlayer-model player used by §4's best-practice experiments ----
@@ -111,14 +112,14 @@ type exoKey struct {
 	seed   int64
 }
 
-var exoCache keyedOnce[exoKey, *origin.Origin]
+var exoCache expcache.Memo[exoKey, *origin.Origin]
 
 // exoContent builds the 7-track VBR test stream of §4.2/§4.1.3 (the paper
 // VBR-encodes Sintel into 7 tracks with peak = 2× average and plays it in
 // a modified ExoPlayer). DASH/sidx addressing exposes per-segment sizes
 // so the actual-bitrate-aware variants have something to read.
 func exoContent(segDur float64, seed int64) (*origin.Origin, error) {
-	return exoCache.get(exoKey{segDur, seed}, func() (*origin.Origin, error) {
+	return exoCache.Get(exoKey{segDur, seed}, func() (*origin.Origin, error) {
 		return buildExoContent(segDur, seed)
 	})
 }

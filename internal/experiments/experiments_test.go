@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -92,7 +93,7 @@ func TestRegistryComplete(t *testing.T) {
 // TestTable2MatchesPaper asserts the central reproduction result: every
 // detector flags exactly the services the paper's Table 2 names.
 func TestTable2MatchesPaper(t *testing.T) {
-	tables, _, err := Table2()
+	tables, _, err := Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 
 // TestFig9Classes: D1/D3/S1 aggressive, the others conservative (§3.3.3).
 func TestFig9Classes(t *testing.T) {
-	tables, _, err := Fig9()
+	tables, _, err := Fig9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestFig9Classes(t *testing.T) {
 // TestFig12DeclaredOnly: both manifest variants select the same level at
 // every bandwidth, and utilisation at 2 Mbit/s is ≈1/3 (paper: 33.7%).
 func TestFig12(t *testing.T) {
-	tables, _, err := Fig12()
+	tables, _, err := Fig12(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestFig12(t *testing.T) {
 // TestFig14Contrast: H3 always stalls right after startup on the marginal
 // profiles; H2 never does.
 func TestFig14(t *testing.T) {
-	tables, _, err := Fig14()
+	tables, _, err := Fig14(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestFig14(t *testing.T) {
 // TestFig7ResumeThreshold: raising S2's resume threshold from 4 s to 25 s
 // removes nearly all stalls.
 func TestFig7(t *testing.T) {
-	tables, _, err := Fig7()
+	tables, _, err := Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestFig7(t *testing.T) {
 // TestFig13ActualAware: actual-bitrate-aware adaptation improves the
 // median bitrate by ≈10% with unchanged stalls (paper: +10.22%).
 func TestFig13(t *testing.T) {
-	tables, _, err := Fig13()
+	tables, _, err := Fig13(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestFig13(t *testing.T) {
 // TestFig11ImprovedSR: per-segment SR raises quality at a data cost; the
 // capped variant keeps gains with less data.
 func TestFig11(t *testing.T) {
-	tables, _, err := Fig11()
+	tables, _, err := Fig11(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestFig11(t *testing.T) {
 // TestSRWhatIf: H4-style SR costs a lot of data for little quality, with
 // a substantial share of non-improving replacements (§4.1.1).
 func TestSRWhatIf(t *testing.T) {
-	tables, _, err := SRWhatIf()
+	tables, _, err := SRWhatIf(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestSRWhatIf(t *testing.T) {
 // TestFig6Desync: D1's buffers drift tens of seconds apart on the lowest
 // profiles.
 func TestFig6(t *testing.T) {
-	tables, _, err := Fig6()
+	tables, _, err := Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestFig6(t *testing.T) {
 
 // TestFig15Orderings: the three monotonicities of §4.3.
 func TestFig15(t *testing.T) {
-	tables, _, err := Fig15()
+	tables, _, err := Fig15(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestFig15(t *testing.T) {
 // TestFig5Shape: peak-declared VBR medians sit near 0.5; average-declared
 // services straddle 1.
 func TestFig5(t *testing.T) {
-	tables, _, err := Fig5()
+	tables, _, err := Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestFig5(t *testing.T) {
 // TestAblEnergy: services with pause/resume gaps inside the RRC demotion
 // timer keep the radio in high power the whole session (§3.3.2).
 func TestAblEnergy(t *testing.T) {
-	tables, _, err := AblEnergy()
+	tables, _, err := AblEnergy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +371,7 @@ func TestAblEnergy(t *testing.T) {
 // TestAblSplit: with heterogeneous per-connection bottlenecks, skewing
 // bytes onto slow connections degrades quality monotonically.
 func TestAblSplit(t *testing.T) {
-	tables, _, err := AblSplit()
+	tables, _, err := AblSplit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestAblSplit(t *testing.T) {
 
 // TestAblRecovery: larger recovery gates cut repeat stalls (§4.3).
 func TestAblRecovery(t *testing.T) {
-	tables, _, err := AblRecovery()
+	tables, _, err := AblRecovery(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +400,7 @@ func TestAblRecovery(t *testing.T) {
 // TestAblSRCap: data cost grows with the cap while the low-track benefit
 // saturates early (§4.1.3's "discarding low segments has bigger impact").
 func TestAblSRCap(t *testing.T) {
-	tables, _, err := AblSRCap()
+	tables, _, err := AblSRCap(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +423,7 @@ func TestAblSRCap(t *testing.T) {
 // TestAblSegDur: the request count falls monotonically with segment
 // duration (the §3.1 tradeoff's cost axis).
 func TestAblSegDur(t *testing.T) {
-	tables, _, err := AblSegDur()
+	tables, _, err := AblSegDur(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +441,7 @@ func TestAblSegDur(t *testing.T) {
 // trail the hysteresis player (the §4.2 point restated as a shoot-out),
 // and BBA switches far more than hysteresis.
 func TestAblAlgorithms(t *testing.T) {
-	tables, _, err := AblAlgorithms()
+	tables, _, err := AblAlgorithms(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -462,7 +463,7 @@ func TestAblAlgorithms(t *testing.T) {
 
 // TestAblAbandon: waste at abandonment grows with the pausing threshold.
 func TestAblAbandon(t *testing.T) {
-	tables, _, err := AblAbandon()
+	tables, _, err := AblAbandon(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/textplot"
@@ -12,10 +13,11 @@ import (
 
 // The parallel experiment engine. Every experiment is an independent
 // pure-ish computation (fixed seeds, no cross-experiment state other
-// than the build-once caches below), so a full report regeneration fans
-// out across GOMAXPROCS workers. Determinism is preserved by collecting
-// results by index — paper order in, paper order out — never by
-// completion order; the same holds for the intra-experiment sweep
+// than the content-addressed caches in internal/expcache), so a full
+// report regeneration fans out across the process-wide scheduler (see
+// sched.go for the single-semaphore design). Determinism is preserved by
+// collecting results by index — paper order in, paper order out — never
+// by completion order; the same holds for the intra-experiment sweep
 // helper the heaviest experiments use.
 
 // Result is the outcome of one experiment run by RunAll.
@@ -41,8 +43,10 @@ type Result struct {
 
 // Options configures RunAll.
 type Options struct {
-	// Workers caps the number of experiments running concurrently.
-	// Zero or negative means GOMAXPROCS.
+	// Workers caps the number of experiments running concurrently. Zero
+	// or negative means the scheduler capacity (GOMAXPROCS at startup).
+	// The effective parallelism is additionally bounded by the
+	// process-wide scheduler, which experiment-internal sweeps share.
 	Workers int
 	// IDs selects a subset of experiments to run, in the given order.
 	// Nil means every registered experiment in paper order.
@@ -53,11 +57,13 @@ type Options struct {
 	OnProgress func(Result)
 }
 
-// RunAll regenerates the selected experiments on a worker pool and
-// returns their results in request order. The first experiment error (in
-// request order, not completion order) is also returned as the run
-// error; cancelling ctx stops scheduling new experiments and marks the
-// unscheduled ones with the context error.
+// RunAll regenerates the selected experiments and returns their results
+// in request order. Each experiment runs under one slot of the
+// process-wide scheduler, so experiment-level and sweep-level fan-out
+// together never exceed the scheduler capacity. The first experiment
+// error (in request order, not completion order) is also returned as
+// the run error; cancelling ctx stops scheduling new experiments and
+// marks the unscheduled ones with the context error.
 func RunAll(ctx context.Context, opts Options) ([]Result, error) {
 	exps, err := selectExperiments(opts.IDs)
 	if err != nil {
@@ -65,7 +71,7 @@ func RunAll(ctx context.Context, opts Options) ([]Result, error) {
 	}
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = sched.capacity()
 	}
 	if workers > len(exps) {
 		workers = len(exps)
@@ -83,7 +89,7 @@ func RunAll(ctx context.Context, opts Options) ([]Result, error) {
 		runtime.ReadMemStats(&ms)
 		before := ms.TotalAlloc
 		start := time.Now() //vodlint:allow simclock — wall-clock runner timing, not simulation state
-		r.Tables, r.Plots, r.Err = exps[i].Run()
+		r.Tables, r.Plots, r.Err = exps[i].Run(ctx)
 		r.Elapsed = time.Since(start) //vodlint:allow simclock — wall-clock runner timing, not simulation state
 		runtime.ReadMemStats(&ms)
 		r.AllocBytes = ms.TotalAlloc - before
@@ -93,14 +99,20 @@ func RunAll(ctx context.Context, opts Options) ([]Result, error) {
 			progressMu.Unlock()
 		}
 	}
+	// runSlotted runs one experiment under a scheduler slot; a
+	// cancellation while waiting marks the result instead of running.
+	runSlotted := func(i int) {
+		if err := sched.acquire(ctx); err != nil {
+			results[i].Err = err
+			return
+		}
+		defer sched.release()
+		runOne(i)
+	}
 
 	if workers <= 1 {
 		for i := range exps {
-			if ctx.Err() != nil {
-				results[i].Err = ctx.Err()
-				continue
-			}
-			runOne(i)
+			runSlotted(i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -110,7 +122,7 @@ func RunAll(ctx context.Context, opts Options) ([]Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					runOne(i)
+					runSlotted(i)
 				}
 			}()
 		}
@@ -158,75 +170,79 @@ func selectExperiments(ids []string) ([]Experiment, error) {
 	return exps, nil
 }
 
-// sweep fans fn out over items across GOMAXPROCS workers and collects
-// the outputs by item index, so callers observe exactly the ordering a
-// serial loop would produce. The first error by index wins. It is the
-// intra-experiment counterpart of RunAll for services × profiles (and
-// similar) product sweeps.
-func sweep[In, Out any](items []In, fn func(In) (Out, error)) ([]Out, error) {
+// sweep fans fn out over items and collects the outputs by item index,
+// so callers observe exactly the ordering a serial loop would produce.
+// It is the intra-experiment counterpart of RunAll for services ×
+// profiles (and similar) product sweeps.
+//
+// Concurrency comes from the process-wide scheduler: helper goroutines
+// are started only for slots that are free right now (non-blocking
+// tryAcquire — never waiting on slots the caller's own ancestors hold),
+// and the caller always participates inline under the slot it already
+// occupies. With no free slots the sweep degrades to the serial loop.
+//
+// The first error cancels the sweep: items not yet started are skipped,
+// in-flight items finish, and the smallest-index error observed is
+// returned. Cancelling ctx likewise stops new items; the context error
+// is returned if no item error preceded it.
+func sweep[In, Out any](ctx context.Context, items []In, fn func(In) (Out, error)) ([]Out, error) {
 	outs := make([]Out, len(items))
-	errs := make([]error, len(items))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(items) {
-		workers = len(items)
+	if len(items) == 0 {
+		return outs, ctx.Err()
 	}
-	if workers <= 1 {
-		for i := range items {
-			outs[i], errs[i] = fn(items[i])
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		errIdx   = len(items)
+		firstErr error
+	)
+	record := func(i int, err error) {
+		errMu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
 		}
-	} else {
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					outs[i], errs[i] = fn(items[i])
-				}
-			}()
-		}
-		for i := range items {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
+		errMu.Unlock()
+		cancel()
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	work := func() {
+		for ctx.Err() == nil {
+			i := int(next.Add(1)) - 1
+			if i >= len(items) {
+				return
+			}
+			out, err := fn(items[i])
+			if err != nil {
+				record(i, err)
+				return
+			}
+			outs[i] = out
 		}
+	}
+
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < len(items)-1 && sched.tryAcquire(); spawned++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sched.release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
 	}
 	return outs, nil
-}
-
-// keyedOnce builds one value per key exactly once without serialising
-// unrelated keys: the map lock is held only long enough to find or
-// insert the key's cell, and the build itself runs under the cell's own
-// sync.Once. Concurrent callers of the same key block until the single
-// build finishes; callers of different keys proceed independently.
-type keyedOnce[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*onceCell[V]
-}
-
-type onceCell[V any] struct {
-	once sync.Once
-	val  V
-	err  error
-}
-
-func (c *keyedOnce[K, V]) get(key K, build func() (V, error)) (V, error) {
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = map[K]*onceCell[V]{}
-	}
-	cell, ok := c.m[key]
-	if !ok {
-		cell = &onceCell[V]{}
-		c.m[key] = cell
-	}
-	c.mu.Unlock()
-	cell.once.Do(func() { cell.val, cell.err = build() })
-	return cell.val, cell.err
 }

@@ -8,7 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/expcache"
 	"repro/internal/origin"
 	"repro/internal/services"
 )
@@ -28,20 +30,28 @@ func renderResult(r Result) string {
 	return b.String()
 }
 
-// TestRunAllDeterminism is the engine's core guarantee: a serial run and
-// a heavily parallel run produce byte-identical tables and plots for
-// every experiment ID. Fixed seeds make each experiment deterministic in
-// isolation; index-ordered collection makes the schedule irrelevant.
+// TestRunAllDeterminism is the engine's core guarantee: a cold serial
+// run, a cold heavily parallel run, and a fully cache-warm run all
+// produce byte-identical tables and plots for every experiment ID.
+// Fixed seeds make each experiment deterministic in isolation;
+// index-ordered collection makes the schedule irrelevant; and the
+// session cache must be invisible in the output, serving results
+// identical to a fresh computation.
 func TestRunAllDeterminism(t *testing.T) {
 	// Force real fan-out even on small CI machines: RunAll workers and
-	// the intra-experiment sweep() both key off GOMAXPROCS.
+	// the intra-experiment sweep() both draw from the scheduler.
 	prev := runtime.GOMAXPROCS(8)
 	defer runtime.GOMAXPROCS(prev)
+	prevSched := sched
+	sched = newScheduler(8)
+	defer func() { sched = prevSched }()
 
+	expcache.Default.Reset()
 	serial, err := RunAll(context.Background(), Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	expcache.Default.Reset()
 	var progressed atomic.Int32
 	parallel, err := RunAll(context.Background(), Options{
 		Workers:    8,
@@ -50,9 +60,15 @@ func TestRunAllDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(serial) != len(parallel) || len(serial) != len(All()) {
-		t.Fatalf("result counts differ: %d serial, %d parallel, %d registered",
-			len(serial), len(parallel), len(All()))
+	// Third pass with the cache left warm from the parallel run: every
+	// session is served from memory, output must not move a byte.
+	warm, err := RunAll(context.Background(), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) || len(serial) != len(warm) || len(serial) != len(All()) {
+		t.Fatalf("result counts differ: %d serial, %d parallel, %d warm, %d registered",
+			len(serial), len(parallel), len(warm), len(All()))
 	}
 	if int(progressed.Load()) != len(parallel) {
 		t.Errorf("OnProgress fired %d times for %d experiments", progressed.Load(), len(parallel))
@@ -61,14 +77,21 @@ func TestRunAllDeterminism(t *testing.T) {
 		if serial[i].ID != parallel[i].ID {
 			t.Fatalf("order diverged at %d: %s vs %s", i, serial[i].ID, parallel[i].ID)
 		}
-		s, p := renderResult(serial[i]), renderResult(parallel[i])
+		s, p, w := renderResult(serial[i]), renderResult(parallel[i]), renderResult(warm[i])
 		if s != p {
 			t.Errorf("%s: output differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
 				serial[i].ID, s, p)
 		}
+		if s != w {
+			t.Errorf("%s: output differs between cold and cache-warm runs:\n--- cold ---\n%s\n--- warm ---\n%s",
+				serial[i].ID, s, w)
+		}
 		if s == "" {
 			t.Errorf("%s: empty output", serial[i].ID)
 		}
+	}
+	if st := expcache.Default.Snapshot(); st.MemHits == 0 {
+		t.Errorf("warm pass recorded no memory hits: %+v", st)
 	}
 }
 
@@ -105,45 +128,77 @@ func TestRunAllCancelled(t *testing.T) {
 	}
 }
 
-// TestKeyedOnceConcurrent hammers the per-key once cache from many
-// goroutines: every key's builder must run exactly once, unrelated keys
-// must not serialise each other, and all callers must observe the same
-// value. Run under -race this is the engine's cache-safety proof.
-func TestKeyedOnceConcurrent(t *testing.T) {
-	const keys = 12
-	const callers = 16
-	var cache keyedOnce[int, int]
-	var builds [keys]atomic.Int32
-	var wg sync.WaitGroup
-	errc := make(chan error, keys*callers)
-	for k := 0; k < keys; k++ {
-		for c := 0; c < callers; c++ {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				v, err := cache.get(k, func() (int, error) {
-					builds[k].Add(1)
-					return k * k, nil
-				})
-				if err != nil {
-					errc <- err
-					return
+// TestSweepBoundedByScheduler is the oversubscription guard the
+// scheduler exists for: a sweep whose items each run a nested sweep must
+// never have more goroutines executing item work than the scheduler
+// capacity plus the one slotless entry caller — not workers², as the old
+// two-level pools allowed.
+func TestSweepBoundedByScheduler(t *testing.T) {
+	const capacity = 4
+	prevSched := sched
+	sched = newScheduler(capacity)
+	defer func() { sched = prevSched }()
+
+	var running, peak atomic.Int64
+	inner := make([]int, 8)
+	outer := make([]int, 16)
+	_, err := sweep(context.Background(), outer, func(int) (int, error) {
+		_, err := sweep(context.Background(), inner, func(int) (int, error) {
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
 				}
-				if v != k*k {
-					errc <- fmt.Errorf("key %d: got %d", k, v)
-				}
-			}(k)
-		}
+			}
+			time.Sleep(time.Millisecond) //vodlint:allow simclock — real sleep forcing worker overlap in a scheduler test
+			running.Add(-1)
+			return 0, nil
+		})
+		return 0, err
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	wg.Wait()
-	close(errc)
-	for err := range errc {
-		t.Error(err)
+	// capacity slots + the slotless test goroutine entering the outer
+	// sweep inline. 16×8 items through the old pools would have peaked
+	// far above this.
+	if p := peak.Load(); p > capacity+1 {
+		t.Errorf("peak concurrency %d exceeds scheduler bound %d", p, capacity+1)
+	} else if p < 2 {
+		t.Errorf("peak concurrency %d: sweep never ran items in parallel", p)
 	}
-	for k := 0; k < keys; k++ {
-		if n := builds[k].Load(); n != 1 {
-			t.Errorf("key %d built %d times", k, n)
+}
+
+// TestSweepCancellation: cancelling the context mid-sweep must stop the
+// fan-out — unclaimed items are skipped rather than drained — and the
+// sweep must report the context error.
+func TestSweepCancellation(t *testing.T) {
+	// Hold the only scheduler slot so the sweep runs strictly inline and
+	// the cancellation point is deterministic.
+	prevSched := sched
+	sched = newScheduler(1)
+	defer func() { sched = prevSched }()
+	if err := sched.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sched.release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	items := make([]int, 100)
+	var processed atomic.Int64
+	_, err := sweep(ctx, items, func(int) (int, error) {
+		if processed.Add(1) == 3 {
+			cancel()
 		}
+		return 0, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("sweep returned %v, want context.Canceled", err)
+	}
+	if n := processed.Load(); n != 3 {
+		t.Errorf("processed %d items after cancellation at item 3", n)
 	}
 }
 

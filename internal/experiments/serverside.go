@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/media"
@@ -9,7 +10,7 @@ import (
 
 // Fig3 reproduces Figure 3: the per-profile average bandwidth of the 14
 // cellular traces, ascending ~1→40 Mbit/s.
-func Fig3() ([]*textplot.Table, []string, error) {
+func Fig3(ctx context.Context) ([]*textplot.Table, []string, error) {
 	t := &textplot.Table{
 		Title:  "Figure 3 — cellular bandwidth profiles",
 		Note:   "synthetic stand-ins for the paper's 14 recorded traces (600 s, 1 s samples)",
@@ -32,7 +33,7 @@ func Fig3() ([]*textplot.Table, []string, error) {
 // Fig4 reproduces Figure 4: each service's declared track ladder. The
 // highest tracks span 2–5.5 Mbit/s; H2, H5 and S1 have bottom tracks
 // above 500 kbit/s (a Table 2 issue); adjacent rungs are 1.5–2× apart.
-func Fig4() ([]*textplot.Table, []string, error) {
+func Fig4(ctx context.Context) ([]*textplot.Table, []string, error) {
 	t := &textplot.Table{
 		Title:  "Figure 4 — declared bitrates of tracks (Mbit/s)",
 		Header: []string{"service", "tracks", "lowest", "highest", "ladder"},
@@ -60,7 +61,7 @@ func Fig4() ([]*textplot.Table, []string, error) {
 // normalised by the declared bitrate for each service's highest track.
 // Peak-declared VBR services sit well below 1; S1/S2 (average-declared)
 // straddle 1; CBR services cluster tightly at ~0.9.
-func Fig5() ([]*textplot.Table, []string, error) {
+func Fig5(ctx context.Context) ([]*textplot.Table, []string, error) {
 	t := &textplot.Table{
 		Title:  "Figure 5 — actual/declared bitrate of the highest track",
 		Header: []string{"service", "encoding", "declared", "min", "p25", "median", "p75", "max"},

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/expcache"
 	"repro/internal/media"
 	"repro/internal/netem"
 	"repro/internal/player"
@@ -116,7 +118,7 @@ func srStatsFromResult(res *player.Result) srRunStats {
 // soon as it switches to a higher track, discards the tail of its buffer
 // (including higher-quality segments) and re-downloads it, sometimes at
 // lower quality and sometimes stalling itself.
-func Fig10() ([]*textplot.Table, []string, error) {
+func Fig10(ctx context.Context) ([]*textplot.Table, []string, error) {
 	h4 := services.ByName("H4")
 	// High → low → brief recovery → low: the recovery triggers the
 	// up-switch and SR, which dumps the buffered tail right before the
@@ -145,7 +147,7 @@ func Fig10() ([]*textplot.Table, []string, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	noSR, err := services.RunWithOrigin(h4.Player, org, p, 600, func(c *player.Config) {
+	noSR, err := expcache.Run(h4.Player, org, p, 600, func(c *player.Config) {
 		c.Replacement = replacement.None{}
 	})
 	if err != nil {
@@ -186,7 +188,7 @@ func Fig10() ([]*textplot.Table, []string, error) {
 // 5 profiles >75%) for marginal quality gain (median +3.66%), and can
 // even lower quality; 21.31%/6.50% of replacements were lower/equal
 // quality.
-func SRWhatIf() ([]*textplot.Table, []string, error) {
+func SRWhatIf(ctx context.Context) ([]*textplot.Table, []string, error) {
 	t := &textplot.Table{
 		Title:  "§4.1.1 — what-if analysis of H4-style SR over 14 profiles",
 		Header: []string{"service", "median Δdata", "max Δdata", "median Δbitrate", "min Δbitrate", "% repl lower", "% repl equal", "% bursts starting ≤"},
@@ -236,7 +238,7 @@ func SRWhatIf() ([]*textplot.Table, []string, error) {
 // (replace individually, only upward, stop when the buffer is low) cuts
 // the time spent on low tracks sharply; the capped variant keeps most of
 // the benefit while cutting wasted data (paper: −44% waste).
-func Fig11() ([]*textplot.Table, []string, error) {
+func Fig11(ctx context.Context) ([]*textplot.Table, []string, error) {
 	org, err := exoContent(4, 42)
 	if err != nil {
 		return nil, nil, err
@@ -269,7 +271,7 @@ func Fig11() ([]*textplot.Table, []string, error) {
 		for i, p := range cellular() {
 			cfg := exoPlayer("exo-" + pol.name)
 			pol.mut(&cfg)
-			res, err := services.RunWithOrigin(cfg, org, p, 600, nil)
+			res, err := expcache.Run(cfg, org, p, 600, nil)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/expcache"
 	"repro/internal/netem"
 	"repro/internal/services"
 	"repro/internal/textplot"
@@ -13,7 +15,7 @@ import (
 // segment, ~1 Mbit/s startup track) stalls right after starting on a low-
 // bandwidth profile, while H2 (2 s segments, 4-segment startup) on the
 // same network does not.
-func Fig14() ([]*textplot.Table, []string, error) {
+func Fig14(ctx context.Context) ([]*textplot.Table, []string, error) {
 	t := &textplot.Table{
 		Title: "Figure 14 — startup stalls: H3 (1×9 s startup segment, 1.05 Mbps track) vs H2 (4×2 s, 1.33 Mbps)",
 		Note:  "30 marginal ~0.9 Mbit/s profiles (the paper's \"certain network bandwidth profiles\"); early stall = within 30 s of playback start",
@@ -43,7 +45,7 @@ func Fig14() ([]*textplot.Table, []string, error) {
 		early, any, runs := 0, 0, 0
 		var delays, firsts []float64
 		for mi, mp := range minis {
-			res, err := services.RunWithOrigin(svc.Player, org, mp, 60, nil)
+			res, err := expcache.Run(svc.Player, org, mp, 60, nil)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -85,7 +87,7 @@ func Fig14() ([]*textplot.Table, []string, error) {
 // finds (i) shorter segments stall less for the same startup duration,
 // (ii) 2–3 startup segments cut the stall ratio sharply vs 1, and (iii)
 // high startup tracks raise both delay and stalls.
-func Fig15() ([]*textplot.Table, []string, error) {
+func Fig15(ctx context.Context) ([]*textplot.Table, []string, error) {
 	// 50 one-minute profiles from the 5 lowest cellular traces.
 	var minis []*netem.Profile
 	for _, p := range cellular()[:5] {
@@ -127,7 +129,7 @@ func Fig15() ([]*textplot.Table, []string, error) {
 			combos = append(combos, combo{st, nseg})
 		}
 	}
-	rows, err := sweep(combos, func(c combo) ([]string, error) {
+	rows, err := sweep(ctx, combos, func(c combo) ([]string, error) {
 		org, err := exoContent(c.set.segDur, 99)
 		if err != nil {
 			return nil, err
@@ -141,7 +143,7 @@ func Fig15() ([]*textplot.Table, []string, error) {
 			cfg.StartupTrack = c.set.track
 			cfg.StartupBufferSec = c.set.segDur * float64(c.nseg)
 			cfg.StartupSegments = c.nseg
-			res, err := services.RunWithOrigin(cfg, org, mp, 60, nil)
+			res, err := expcache.Run(cfg, org, mp, 60, nil)
 			if err != nil {
 				return nil, err
 			}

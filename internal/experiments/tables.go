@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
+	"repro/internal/expcache"
 	"repro/internal/manifest"
 	"repro/internal/media"
 	"repro/internal/modify"
@@ -22,14 +24,14 @@ var allServices = sync.OnceValue(services.All)
 // Table1 reproduces Table 1 by black-box probing every service: the
 // probed values should match the configured models, validating the
 // methodology end to end.
-func Table1() ([]*textplot.Table, []string, error) {
+func Table1(ctx context.Context) ([]*textplot.Table, []string, error) {
 	t := &textplot.Table{
 		Title: "Table 1 — design choices (black-box probed)",
 		Note:  "probed via request rejection, traffic on/off analysis and constant-bandwidth runs",
 		Header: []string{"service", "segdur(s)", "sep.audio", "maxTCP", "persistent",
 			"startup(s)", "startup(Mbps)", "pause(s)", "resume(s)", "stable", "aggressive"},
 	}
-	rows, err := sweep(allServices(), func(svc *services.Service) (probe.Row, error) {
+	rows, err := sweep(ctx, allServices(), func(svc *services.Service) (probe.Row, error) {
 		row, err := probe.Table1(svc)
 		if err != nil {
 			return row, fmt.Errorf("table1: %s: %w", svc.Name, err)
@@ -58,7 +60,7 @@ func Table1() ([]*textplot.Table, []string, error) {
 
 // Table2 reproduces Table 2 by running behavioural detectors for each of
 // the nine QoE-impacting issues and listing the services they flag.
-func Table2() ([]*textplot.Table, []string, error) {
+func Table2(ctx context.Context) ([]*textplot.Table, []string, error) {
 	type issue struct {
 		factor, problem, impact string
 		detect                  func() ([]string, error)
@@ -78,7 +80,7 @@ func Table2() ([]*textplot.Table, []string, error) {
 		Title:  "Table 2 — identified QoE-impacting issues",
 		Header: []string{"design factor", "problem", "QoE impact", "affected services"},
 	}
-	flagged, err := sweep(issues, func(is issue) ([]string, error) {
+	flagged, err := sweep(ctx, issues, func(is issue) ([]string, error) {
 		svcs, err := is.detect()
 		if err != nil {
 			return nil, fmt.Errorf("table2: %q: %w", is.problem, err)
@@ -189,11 +191,11 @@ func variantsSelectSameLevel(svc *services.Service) (bool, error) {
 	}
 	for _, bw := range []float64{1.4e6, 2.6e6} {
 		p := netem.Constant("const", bw, 600)
-		r1, err := services.RunWithOrigin(svc.Player, shifted, p, 300, adjust)
+		r1, err := expcache.Run(svc.Player, shifted, p, 300, adjust)
 		if err != nil {
 			return false, err
 		}
-		r2, err := services.RunWithOrigin(svc.Player, dropped, p, 300, adjust)
+		r2, err := expcache.Run(svc.Player, dropped, p, 300, adjust)
 		if err != nil {
 			return false, err
 		}
@@ -298,7 +300,7 @@ func detectOneSegmentStartup() ([]string, error) {
 		p := netem.Constant("probe10", 10e6, 120)
 		// Count the video segments buffered when playback starts on a
 		// fast link.
-		res, err := services.RunWithOrigin(svc.Player, org, p, 60, nil)
+		res, err := expcache.Run(svc.Player, org, p, 60, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +351,7 @@ func detectEagerRampDown() ([]string, error) {
 			return nil, err
 		}
 		p := netem.Step("step-down", 4e6, 0.8e6, 200, 600)
-		res, err := services.RunWithOrigin(svc.Player, org, p, 360, nil)
+		res, err := expcache.Run(svc.Player, org, p, 360, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/expcache"
 	"repro/internal/media"
 	"repro/internal/modify"
 	"repro/internal/netem"
@@ -26,14 +27,16 @@ import (
 // seconds they carry) the service needs before starting playback, by
 // rejecting all segment requests after the first n and growing n.
 func StartupBuffer(svc *services.Service, maxN int) (segments int, seconds float64, err error) {
-	org, err := svc.Origin()
+	org, err := expcache.Origin(svc)
 	if err != nil {
 		return 0, 0, err
 	}
 	p := netem.Constant("probe10", 10e6, 120)
 	for n := 1; n <= maxN; n++ {
 		gate := modify.RejectAfter(n)
-		res, err := services.RunWithOrigin(svc.Player, org, p, 60, func(c *player.Config) {
+		// The RequestGate func is not fingerprintable, so these probe
+		// sessions bypass the cache and run directly (counted as such).
+		res, err := expcache.Run(svc.Player, org, p, 60, func(c *player.Config) {
 			c.RequestGate = gate
 		})
 		if err != nil {
@@ -70,7 +73,7 @@ func StartupBuffer(svc *services.Service, maxN int) (segments int, seconds float
 // on/off download pattern of a 10 Mbit/s run, using traffic analysis and
 // the §2.5 buffer inference — no simulator internals.
 func Thresholds(svc *services.Service) (pause, resume float64, err error) {
-	res, err := svc.Run(netem.Constant("probe10", 10e6, 600), 600, nil)
+	res, err := expcache.RunService(svc, netem.Constant("probe10", 10e6, 600), 600, nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -132,7 +135,7 @@ type Steady struct {
 // SteadyState streams the service at a constant bandwidth and summarises
 // the second half of the session.
 func SteadyState(svc *services.Service, bw float64) (Steady, error) {
-	res, err := svc.Run(netem.Constant(fmt.Sprintf("const%.0f", bw/1e6), bw, 600), 600, nil)
+	res, err := expcache.RunService(svc, netem.Constant(fmt.Sprintf("const%.0f", bw/1e6), bw, 600), 600, nil)
 	if err != nil {
 		return Steady{}, err
 	}
@@ -183,7 +186,7 @@ func steadyFromResult(res *player.Result, bw float64) Steady {
 // service fetches (§3.3.1: "each app consistently selects the same track
 // level across different runs").
 func StartupTrack(svc *services.Service) (float64, error) {
-	res, err := svc.Run(netem.Constant("probe5", 5e6, 120), 60, nil)
+	res, err := expcache.RunService(svc, netem.Constant("probe5", 5e6, 120), 60, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -226,7 +229,7 @@ func Table1(svc *services.Service) (Row, error) {
 	row := Row{Service: svc.Name, Persistent: svc.Player.Persistent}
 
 	// Structural facts from a short run's traffic.
-	res, err := svc.Run(netem.Constant("probe5", 5e6, 600), 90, nil)
+	res, err := expcache.RunService(svc, netem.Constant("probe5", 5e6, 600), 90, nil)
 	if err != nil {
 		return row, err
 	}

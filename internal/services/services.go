@@ -366,15 +366,24 @@ func (s *Service) Run(p *netem.Profile, dur float64, mutate func(*player.Config)
 	return RunWithOrigin(s.Player, org, p, dur, mutate)
 }
 
-// RunWithOrigin runs a player config against a prebuilt origin (callers
-// that sweep many profiles reuse the origin to avoid re-encoding).
-func RunWithOrigin(cfg player.Config, org *origin.Origin, p *netem.Profile, dur float64, mutate func(*player.Config)) (*player.Result, error) {
+// Resolve applies the duration override and the mutator to a player
+// config exactly as RunWithOrigin does, and returns the config the
+// session will actually be built from. Exported so the experiment cache
+// can fingerprint the resolved config without running the session.
+func Resolve(cfg player.Config, dur float64, mutate func(*player.Config)) player.Config {
 	if dur > 0 {
 		cfg.SessionDuration = dur
 	}
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	return cfg
+}
+
+// RunWithOrigin runs a player config against a prebuilt origin (callers
+// that sweep many profiles reuse the origin to avoid re-encoding).
+func RunWithOrigin(cfg player.Config, org *origin.Origin, p *netem.Profile, dur float64, mutate func(*player.Config)) (*player.Result, error) {
+	cfg = Resolve(cfg, dur, mutate)
 	net := simnet.New(simnet.DefaultConfig(), p)
 	sess, err := player.NewSession(cfg, org, net)
 	if err != nil {
