@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke cache-determinism
+.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke cache-determinism fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/player/ -run '^$$' -fuzz '^FuzzSessionInvariants$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/player/ -run '^$$' -fuzz '^FuzzSessionDeterminism$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/traffic/ -run '^$$' -fuzz '^FuzzAnalyze$$' -fuzztime $(FUZZTIME)
 
 test:
 	$(GO) test ./...
@@ -92,3 +93,15 @@ cache-determinism:
 	grep 'cache:' "$$dir/log2" && \
 	grep -q 'cache: 0 misses' "$$dir/log2" && \
 	echo "cache-determinism: cold and warm reports are byte-identical"
+
+# Population-run gate: a small fleet under the race detector, then the
+# workers-determinism contract — the same seed must produce byte-identical
+# JSON reports for a serial and an 8-way-concurrent run.
+fleet-smoke:
+	$(GO) test -race -count=1 ./internal/fleet/
+	$(GO) build -o bin/vodfleet ./cmd/vodfleet
+	dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	bin/vodfleet -sessions 600 -seed 1 -workers 1 -q -nocache -json "$$dir/w1.json" && \
+	bin/vodfleet -sessions 600 -seed 1 -workers 8 -q -nocache -json "$$dir/w8.json" && \
+	cmp "$$dir/w1.json" "$$dir/w8.json" && \
+	echo "fleet-smoke: workers=1 and workers=8 reports are byte-identical"

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/expcache"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/live"
 	"repro/internal/manifest"
 	"repro/internal/manifest/dash"
@@ -176,6 +177,21 @@ func BenchmarkSimnetTransfers(b *testing.B) {
 		for j := 0; j < 1000; j++ {
 			c.Start(500e3, nil)
 			n.Step(1e6)
+		}
+	}
+}
+
+// BenchmarkFleet1k measures a 1000-session population run end to end:
+// workload draw, per-cell shared-edge simulation and the streaming QoE
+// aggregation (internal/fleet). Serial (workers=1) so the number tracks
+// simulation cost, not the machine's core count.
+func BenchmarkFleet1k(b *testing.B) {
+	cfg := fleet.Config{Seed: 1, Sessions: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Run(context.Background(), cfg, 1); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

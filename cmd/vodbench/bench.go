@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/expcache"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/live"
 	"repro/internal/media"
 	"repro/internal/netem"
@@ -190,6 +191,19 @@ func substrateSpecs() ([]benchSpec, error) {
 			for i := 0; i < b.N; i++ {
 				net := simnet.New(simnet.DefaultConfig(), liveProfile)
 				if _, err := live.Play(live.Config{JoinAt: 60, SessionDuration: 240}, lorg, net); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// fleet_1k: a 1000-session population run (workload draw, shared
+		// edge cells, streaming aggregation), serial so the gate tracks
+		// per-session cost rather than runner core count (mirrors
+		// BenchmarkFleet1k).
+		{"substrate/fleet_1k", "substrate", func(b *testing.B) {
+			cfg := fleet.Config{Seed: 1, Sessions: 1000}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(context.Background(), cfg, 1); err != nil {
 					b.Fatal(err)
 				}
 			}

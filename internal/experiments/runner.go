@@ -71,7 +71,7 @@ func RunAll(ctx context.Context, opts Options) ([]Result, error) {
 	}
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = sched.capacity()
+		workers = sched.Capacity()
 	}
 	if workers > len(exps) {
 		workers = len(exps)
@@ -102,11 +102,11 @@ func RunAll(ctx context.Context, opts Options) ([]Result, error) {
 	// runSlotted runs one experiment under a scheduler slot; a
 	// cancellation while waiting marks the result instead of running.
 	runSlotted := func(i int) {
-		if err := sched.acquire(ctx); err != nil {
+		if err := sched.Acquire(ctx); err != nil {
 			results[i].Err = err
 			return
 		}
-		defer sched.release()
+		defer sched.Release()
 		runOne(i)
 	}
 
@@ -224,11 +224,11 @@ func sweep[In, Out any](ctx context.Context, items []In, fn func(In) (Out, error
 	}
 
 	var wg sync.WaitGroup
-	for spawned := 0; spawned < len(items)-1 && sched.tryAcquire(); spawned++ {
+	for spawned := 0; spawned < len(items)-1 && sched.TryAcquire(); spawned++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer sched.release()
+			defer sched.Release()
 			work()
 		}()
 	}

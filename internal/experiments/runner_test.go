@@ -179,10 +179,10 @@ func TestSweepCancellation(t *testing.T) {
 	prevSched := sched
 	sched = newScheduler(1)
 	defer func() { sched = prevSched }()
-	if err := sched.acquire(context.Background()); err != nil {
+	if err := sched.Acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	defer sched.release()
+	defer sched.Release()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

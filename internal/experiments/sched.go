@@ -1,65 +1,30 @@
 package experiments
 
 import (
-	"context"
-	"runtime"
+	schedpkg "repro/internal/sched"
 )
 
-// scheduler is the single process-wide concurrency bound for experiment
-// work. Before it existed the engine ran two independent worker pools —
-// RunAll started GOMAXPROCS experiment workers and every sweep inside an
-// experiment started GOMAXPROCS more — so nested fan-out could put
-// GOMAXPROCS² goroutines on GOMAXPROCS cores. Now both levels draw from
+// The single process-wide concurrency bound for experiment work lives
+// in internal/sched (it is shared with the fleet subsystem; see that
+// package's doc comment for the acquire/try-acquire contract that keeps
+// nested fan-out deadlock-free). Before it existed the engine ran two
+// independent worker pools — RunAll started GOMAXPROCS experiment
+// workers and every sweep inside an experiment started GOMAXPROCS more
+// — so nested fan-out could put GOMAXPROCS² goroutines on GOMAXPROCS
+// cores. Now both levels (and fleet runs in the same process) draw from
 // one semaphore:
 //
-//   - RunAll workers block in acquire() before running an experiment and
+//   - RunAll workers block in Acquire before running an experiment and
 //     hold the slot for its duration (sweeps inside it run under that
 //     slot).
 //   - sweep helper goroutines are spawned only for slots obtained with
-//     the non-blocking tryAcquire(), and the sweeping caller always
-//     works inline under the slot it already holds — so a sweep can
-//     never deadlock waiting for slots held by its ancestors, it just
-//     degrades to the serial loop.
-//
-// The number of concurrently executing workers is therefore bounded by
-// the scheduler capacity (+1 when sweep is entered by a caller that
-// holds no slot, e.g. a direct experiment call from a test), no matter
-// how deeply sweeps nest.
-type scheduler struct {
-	slots chan struct{}
-}
+//     the non-blocking TryAcquire, and the sweeping caller always works
+//     inline under the slot it already holds.
 
-func newScheduler(capacity int) *scheduler {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &scheduler{slots: make(chan struct{}, capacity)}
-}
+// sched is this package's reference to the process-wide scheduler.
+// Tests swap it to control parallelism independently of the machine's
+// core count.
+var sched = schedpkg.Global
 
-// sched is the process-wide scheduler. Tests swap it to control
-// parallelism independently of the machine's core count.
-var sched = newScheduler(runtime.GOMAXPROCS(0))
-
-// acquire blocks until a slot is free or ctx is done.
-func (s *scheduler) acquire(ctx context.Context) error {
-	select {
-	case s.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// tryAcquire takes a slot only if one is free right now.
-func (s *scheduler) tryAcquire() bool {
-	select {
-	case s.slots <- struct{}{}:
-		return true
-	default:
-		return false
-	}
-}
-
-func (s *scheduler) release() { <-s.slots }
-
-func (s *scheduler) capacity() int { return cap(s.slots) }
+// newScheduler builds a private scheduler (test seam).
+func newScheduler(capacity int) *schedpkg.Scheduler { return schedpkg.New(capacity) }

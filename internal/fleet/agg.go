@@ -1,0 +1,380 @@
+package fleet
+
+import (
+	"encoding/json"
+	"math"
+
+	"repro/internal/qoe"
+)
+
+// This file is the memory-bounded reduction layer: a fleet of any size
+// folds into a fixed number of fixed-size accumulators (per service ×
+// metric: one histogram + one online mean/variance), so a 100k-session
+// run costs the same aggregate memory as a 100-session run. All merges
+// happen in deterministic cell-index order (see Run), which makes the
+// floating-point fold sequence — and therefore the report bytes —
+// independent of the worker count.
+
+// hist is a fixed-bin histogram over [Lo, Hi). Out-of-range samples are
+// counted in Under/Over so totals are never silently lost.
+type hist struct {
+	Lo, Hi float64
+	Counts []int64
+	Under  int64
+	Over   int64
+}
+
+func newHist(lo, hi float64, bins int) *hist {
+	return &hist{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+func (h *hist) add(v float64) {
+	if v < h.Lo || math.IsNaN(v) {
+		h.Under++
+		return
+	}
+	if v >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) { // guard the v≈Hi float edge
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+}
+
+func (h *hist) total() int64 {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// quantile returns the p-th percentile (0..100) by walking the
+// cumulative counts: Under samples sit at Lo, Over samples at Hi, and a
+// bin resolves to its upper edge. Integer walk — fully deterministic.
+func (h *hist) quantile(p float64) float64 {
+	n := h.total()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p / 100 * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := h.Under
+	if cum >= target {
+		return h.Lo
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return h.Lo + float64(i+1)*w
+		}
+	}
+	return h.Hi
+}
+
+// welford is Welford's online mean/variance, merged pairwise with the
+// Chan et al. update. Merge order is fixed by the caller.
+type welford struct {
+	N    int64
+	Mean float64
+	M2   float64
+}
+
+func (w *welford) add(v float64) {
+	w.N++
+	d := v - w.Mean
+	w.Mean += d / float64(w.N)
+	w.M2 += d * (v - w.Mean)
+}
+
+func (w *welford) merge(o welford) {
+	if o.N == 0 {
+		return
+	}
+	if w.N == 0 {
+		*w = o
+		return
+	}
+	n := float64(w.N + o.N)
+	d := o.Mean - w.Mean
+	w.Mean += d * float64(o.N) / n
+	w.M2 += o.M2 + d*d*float64(w.N)*float64(o.N)/n
+	w.N += o.N
+}
+
+func (w *welford) std() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return math.Sqrt(w.M2 / float64(w.N-1))
+}
+
+// metricAgg pairs the exact online moments with a histogram for
+// percentiles/CDFs — together a complete, fixed-size summary of one
+// metric's population distribution.
+type metricAgg struct {
+	w welford
+	h *hist
+}
+
+func (m *metricAgg) add(v float64) {
+	m.w.add(v)
+	m.h.add(v)
+}
+
+func (m *metricAgg) merge(o *metricAgg) {
+	m.w.merge(o.w)
+	m.h.merge(o.h)
+}
+
+// Histogram ranges. Bounds are part of the report schema: changing them
+// changes the bytes (EngineVersion covers the cache side).
+const (
+	bitrateHiMbps = 10  // ladder tops sit well below 10 Mbit/s
+	startupHiSec  = 30  // startup delays beyond 30 s land in Over
+	switchesHiPM  = 12  // switches per playback minute
+	utilHi        = 1.2 // >1 would mean a conservation violation
+)
+
+func newSvcMetrics() [4]metricAgg {
+	return [4]metricAgg{
+		{h: newHist(0, bitrateHiMbps, 40)}, // avg bitrate, Mbit/s
+		{h: newHist(0, 1, 20)},             // stall ratio
+		{h: newHist(0, startupHiSec, 30)},  // startup delay, s
+		{h: newHist(0, switchesHiPM, 24)},  // switches per minute
+	}
+}
+
+const (
+	mBitrate = iota
+	mStall
+	mStartup
+	mSwitches
+)
+
+// svcAgg accumulates one service's population.
+type svcAgg struct {
+	sessions int64 // every observed session of this service
+	started  int64 // sessions that reached the first frame
+	m        [4]metricAgg
+}
+
+func (s *svcAgg) merge(o *svcAgg) {
+	s.sessions += o.sessions
+	s.started += o.started
+	for i := range s.m {
+		s.m[i].merge(&o.m[i])
+	}
+}
+
+// cellAgg is one cell's streaming fold: per-service metrics plus the
+// cell-level fairness and utilization samples. bitrates is bounded by
+// the cell size (ClientsPerCell), not the fleet size.
+type cellAgg struct {
+	svc       []svcAgg
+	bitrates  []float64 // per started client, for the Jain index
+	delivered float64   // bytes the shared edge actually carried
+	offered   float64   // edge capacity integral over the cell run, bytes
+}
+
+func newCellAgg(nsvc int) *cellAgg {
+	a := &cellAgg{svc: make([]svcAgg, nsvc)}
+	for i := range a.svc {
+		a.svc[i].m = newSvcMetrics()
+	}
+	return a
+}
+
+// observe folds one finished session. Sessions that never displayed a
+// frame (StartupDelay < 0 — the viewer left before startup) count
+// toward sessions but contribute no metric samples; the started/sessions
+// ratio reports them.
+func (a *cellAgg) observe(svcIdx int, rep qoe.Report) {
+	sa := &a.svc[svcIdx]
+	sa.sessions++
+	if rep.StartupDelay < 0 {
+		return
+	}
+	sa.started++
+	sa.m[mBitrate].add(rep.AvgBitrate / 1e6)
+	a.bitrates = append(a.bitrates, rep.AvgBitrate)
+	if denom := rep.PlayedSec + rep.StallSec; denom > 0 {
+		sa.m[mStall].add(rep.StallSec / denom)
+	}
+	sa.m[mStartup].add(rep.StartupDelay)
+	if rep.PlayedSec > 0 {
+		sa.m[mSwitches].add(float64(rep.Switches) / (rep.PlayedSec / 60))
+	}
+}
+
+// finishCell records the cell-level samples once the simulation is
+// done: delivered bytes (for utilization = delivered / offered) and the
+// edge capacity integral in bytes.
+func (a *cellAgg) finishCell(deliveredBytes, capacityIntegralBps float64) {
+	a.delivered = deliveredBytes
+	a.offered = capacityIntegralBps / 8
+}
+
+// fleetAgg folds cellAggs in cell-index order.
+type fleetAgg struct {
+	svc         []svcAgg
+	fairness    metricAgg
+	utilization metricAgg
+	totalBytes  float64
+	cellsMerged int
+}
+
+func newFleetAgg(nsvc int) *fleetAgg {
+	a := &fleetAgg{
+		svc:         make([]svcAgg, nsvc),
+		fairness:    metricAgg{h: newHist(0, 1, 20)},
+		utilization: metricAgg{h: newHist(0, utilHi, 24)},
+	}
+	for i := range a.svc {
+		a.svc[i].m = newSvcMetrics()
+	}
+	return a
+}
+
+func (a *fleetAgg) merge(c *cellAgg) {
+	for i := range a.svc {
+		a.svc[i].merge(&c.svc[i])
+	}
+	if len(c.bitrates) > 0 {
+		a.fairness.add(jain(c.bitrates))
+	}
+	if c.offered > 0 {
+		a.utilization.add(c.delivered / c.offered)
+	}
+	a.totalBytes += c.delivered
+	a.cellsMerged++
+}
+
+// jain computes Jain's fairness index: (Σx)² / (n·Σx²). 1 means every
+// client achieved the same bitrate; 1/n means one client took it all.
+func jain(xs []float64) float64 {
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1 // everyone equally got nothing
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// Dist is the JSON form of one metric's population distribution.
+type Dist struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+	P10   float64 `json:"p10"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	// Counts are the fixed histogram bins over [Lo, Hi); Under/Over
+	// count the clipped tails.
+	Counts []int64 `json:"counts"`
+	Under  int64   `json:"under,omitempty"`
+	Over   int64   `json:"over,omitempty"`
+}
+
+func (m *metricAgg) dist() Dist {
+	return Dist{
+		Count:  m.w.N,
+		Mean:   m.w.Mean,
+		Std:    m.w.std(),
+		P10:    m.h.quantile(10),
+		P50:    m.h.quantile(50),
+		P90:    m.h.quantile(90),
+		Lo:     m.h.Lo,
+		Hi:     m.h.Hi,
+		Counts: m.h.Counts,
+		Under:  m.h.Under,
+		Over:   m.h.Over,
+	}
+}
+
+// ServiceStats is one service's slice of the population.
+type ServiceStats struct {
+	Service         string `json:"service"`
+	Sessions        int64  `json:"sessions"`
+	Started         int64  `json:"started"`
+	BitrateMbps     Dist   `json:"bitrate_mbps"`
+	StallRatio      Dist   `json:"stall_ratio"`
+	StartupDelaySec Dist   `json:"startup_delay_sec"`
+	SwitchesPerMin  Dist   `json:"switches_per_min"`
+}
+
+// Report is the full population summary. Marshaling is struct-ordered
+// and map-free, so the JSON bytes are a pure function of the normalized
+// config.
+type Report struct {
+	Schema   int    `json:"schema"`
+	Config   Config `json:"config"`
+	Cells    int    `json:"cells"`
+	Sessions int64  `json:"sessions"`
+	Started  int64  `json:"started"`
+	// TotalBytes is what the edge links actually carried (media +
+	// documents + waste), summed over cells.
+	TotalBytes float64 `json:"total_bytes"`
+	// FairnessJain has one sample per cell: Jain's index over the
+	// cell members' achieved bitrates.
+	FairnessJain Dist `json:"fairness_jain"`
+	// EdgeUtilization has one sample per cell: delivered bytes over the
+	// edge capacity integral. Conservation bounds it by 1.
+	EdgeUtilization Dist           `json:"edge_utilization"`
+	Services        []ServiceStats `json:"services"`
+}
+
+func (a *fleetAgg) report(cfg Config, cells int) *Report {
+	r := &Report{
+		Schema:          1,
+		Config:          cfg,
+		Cells:           cells,
+		TotalBytes:      a.totalBytes,
+		FairnessJain:    a.fairness.dist(),
+		EdgeUtilization: a.utilization.dist(),
+		Services:        make([]ServiceStats, len(a.svc)),
+	}
+	for i := range a.svc {
+		sa := &a.svc[i]
+		r.Sessions += sa.sessions
+		r.Started += sa.started
+		r.Services[i] = ServiceStats{
+			Service:         cfg.Services[i],
+			Sessions:        sa.sessions,
+			Started:         sa.started,
+			BitrateMbps:     sa.m[mBitrate].dist(),
+			StallRatio:      sa.m[mStall].dist(),
+			StartupDelaySec: sa.m[mStartup].dist(),
+			SwitchesPerMin:  sa.m[mSwitches].dist(),
+		}
+	}
+	return r
+}
+
+// JSON renders the report deterministically (struct order, indented).
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,366 @@
+// Package fleet runs population-scale multi-client streaming
+// simulations: the "cellular tower serving a city block" view the
+// single-session lab cannot express. A seeded workload model draws a
+// population of clients — arrival time, service model (one of the 12
+// paper services), per-client cellular access trace (one of the 14),
+// and an early-abandon watch duration — and partitions them into cells.
+// Each cell is one shared edge link (a simnet.Network) carrying every
+// member's traffic: a client's chunk downloads are visible to its
+// neighbours as cross traffic, arbitrated max-min fairly, and each
+// client is additionally capped by its own cellular access link
+// (simnet.AccessLink), so the achieved rate is min(access budget, fair
+// edge share).
+//
+// Cells are mutually independent, so they fan out across the
+// process-wide scheduler (internal/sched, shared with the experiment
+// engine). Determinism contract: the whole workload is drawn
+// single-threaded from one seeded generator before any cell runs, each
+// cell simulation is single-threaded, and cell aggregates are folded
+// into the fleet report in strict cell-index order — so the JSON report
+// is byte-identical for a given seed regardless of the worker count.
+//
+// Memory contract: per-session player.Results are never retained. Each
+// cell folds every session into fixed-size streaming aggregates
+// (fixed-bin histograms plus online mean/variance, see agg.go) the
+// moment the session finishes, via the Group observer; cells are
+// processed in bounded batches, so peak memory is O(workers · cell
+// aggregate), independent of the session count.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expcache"
+	"repro/internal/netem"
+	"repro/internal/origin"
+	"repro/internal/player"
+	"repro/internal/qoe"
+	schedpkg "repro/internal/sched"
+	"repro/internal/services"
+	"repro/internal/simnet"
+)
+
+// sched is this package's reference to the process-wide scheduler.
+// Tests swap it to control parallelism independently of the machine's
+// core count.
+var sched = schedpkg.Global
+
+// Config parameterises a fleet run. Every field is plain data, so the
+// whole config is fingerprintable (expcache) and a normalized config
+// fully determines the report bytes. The worker count is deliberately
+// NOT part of the config: it must never influence the output.
+type Config struct {
+	// Seed drives every random draw of the workload model.
+	Seed int64
+	// Sessions is the population size.
+	Sessions int
+	// ArrivalWindowSec spreads arrivals over [0, window): a Poisson
+	// process conditioned on Sessions arrivals is exactly Sessions iid
+	// uniforms, sorted. Default 600.
+	ArrivalWindowSec float64
+	// WatchSec is the full watch duration of a non-abandoning viewer.
+	// Default 120.
+	WatchSec float64
+	// AbandonProb is the probability a viewer abandons early (the
+	// paper's short-session reality); the abandoning viewer watches an
+	// exponential duration with mean AbandonMeanSec, clamped to
+	// [5, WatchSec]. Zero selects the default 0.35; negative disables
+	// abandonment. Default mean 45.
+	AbandonProb    float64
+	AbandonMeanSec float64
+	// ClientsPerCell sets how many clients share one edge link.
+	// Default 24.
+	ClientsPerCell int
+	// EdgeMbps is the shared edge budget per cell in Mbit/s. Default 40.
+	EdgeMbps float64
+	// Services is the session mix: each session draws uniformly from
+	// this list (paper names, e.g. "H1"; duplicates weight the mix).
+	// Empty means all 12 service models.
+	Services []string
+}
+
+// Normalized fills every default; the normalized config is what the
+// report echoes and what RunCached fingerprints.
+func (c Config) Normalized() (Config, error) {
+	if c.Sessions <= 0 {
+		return c, fmt.Errorf("fleet: Sessions must be positive")
+	}
+	if c.ArrivalWindowSec <= 0 {
+		c.ArrivalWindowSec = 600
+	}
+	if c.WatchSec <= 0 {
+		c.WatchSec = 120
+	}
+	switch {
+	case c.AbandonProb == 0:
+		c.AbandonProb = 0.35
+	case c.AbandonProb < 0:
+		c.AbandonProb = 0
+	case c.AbandonProb > 1:
+		c.AbandonProb = 1
+	}
+	if c.AbandonMeanSec <= 0 {
+		c.AbandonMeanSec = 45
+	}
+	if c.ClientsPerCell <= 0 {
+		c.ClientsPerCell = 24
+	}
+	if c.EdgeMbps <= 0 {
+		c.EdgeMbps = 40
+	}
+	if len(c.Services) == 0 {
+		all := services.All()
+		names := make([]string, len(all))
+		for i, s := range all {
+			names[i] = s.Name
+		}
+		c.Services = names
+	} else {
+		c.Services = append([]string(nil), c.Services...)
+	}
+	for _, name := range c.Services {
+		if services.ByName(name) == nil {
+			return c, fmt.Errorf("fleet: unknown service %q", name)
+		}
+	}
+	return c, nil
+}
+
+// Client is one drawn population member.
+type Client struct {
+	// Arrival is the session start on the fleet clock (seconds).
+	Arrival float64
+	// Watch is the viewing duration (the session's duration budget).
+	Watch float64
+	// Service indexes Config.Services.
+	Service int
+	// Trace is the cellular access profile, 1..netem.CellularCount.
+	Trace int
+}
+
+// Workload draws the full population from the seed: arrivals (sorted
+// uniforms over the window), then per-client service, access trace and
+// watch duration. Single-threaded on purpose — the draw order is part
+// of the determinism contract. The config must be normalized.
+func Workload(cfg Config) []Client {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrivals := make([]float64, cfg.Sessions)
+	for i := range arrivals {
+		arrivals[i] = rng.Float64() * cfg.ArrivalWindowSec
+	}
+	sort.Float64s(arrivals)
+	clients := make([]Client, cfg.Sessions)
+	for i := range clients {
+		watch := cfg.WatchSec
+		if rng.Float64() < cfg.AbandonProb {
+			watch = math.Min(cfg.WatchSec, math.Max(5, rng.ExpFloat64()*cfg.AbandonMeanSec))
+		}
+		clients[i] = Client{
+			Arrival: arrivals[i],
+			Watch:   watch,
+			Service: rng.Intn(len(cfg.Services)),
+			Trace:   1 + rng.Intn(netem.CellularCount),
+		}
+	}
+	return clients
+}
+
+// Run executes the fleet and reduces it to a population Report. workers
+// bounds the cell fan-out (0 or negative = scheduler capacity); the
+// effective parallelism is additionally bounded by the process-wide
+// scheduler, and the report bytes never depend on it.
+func Run(ctx context.Context, cfg Config, workers int) (*Report, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	svcs := make([]*services.Service, len(cfg.Services))
+	origins := make([]*origin.Origin, len(cfg.Services))
+	for i, name := range cfg.Services {
+		svcs[i] = services.ByName(name)
+		if origins[i], err = expcache.Origin(svcs[i]); err != nil {
+			return nil, fmt.Errorf("fleet: origin for %s: %w", name, err)
+		}
+	}
+	traces := netem.CellularSet()
+	clients := Workload(cfg)
+
+	nCells := (cfg.Sessions + cfg.ClientsPerCell - 1) / cfg.ClientsPerCell
+	cells := make([][]Client, nCells)
+	// Round-robin over arrival-sorted clients: every cell sees arrivals
+	// spread across the whole window (a stationary load), instead of one
+	// cell absorbing a burst of simultaneous joins.
+	for i, c := range clients {
+		cells[i%nCells] = append(cells[i%nCells], c)
+	}
+
+	if workers <= 0 {
+		workers = sched.Capacity()
+	}
+	agg := newFleetAgg(len(svcs))
+	// Bounded batches: cells fan out within a batch, and batches fold in
+	// strict cell order, so peak memory is O(batch) cell aggregates while
+	// the merge sequence — and with it every float in the report — is
+	// identical for any worker count (batch boundaries only group the
+	// same in-order merges).
+	batch := 2 * workers
+	if batch < 8 {
+		batch = 8
+	}
+	for lo := 0; lo < nCells; lo += batch {
+		hi := lo + batch
+		if hi > nCells {
+			hi = nCells
+		}
+		outs := make([]*cellAgg, hi-lo)
+		err := forEach(ctx, hi-lo, workers, func(k int) error {
+			ca, err := runCell(cfg, svcs, origins, traces, cells[lo+k])
+			if err != nil {
+				return err
+			}
+			outs[k] = ca
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, ca := range outs {
+			agg.merge(ca)
+		}
+	}
+	return agg.report(cfg, nCells), nil
+}
+
+// memo caches fleet reports by config fingerprint for the lifetime of
+// the process (a vodfleet sweep or a test re-running the same config
+// pays the simulation once).
+var memo expcache.Memo[expcache.Key, *Report]
+
+// RunCached is the memoized counterpart of Run: reports are
+// content-addressed by the fingerprint of the normalized config (the
+// worker count is not part of the key — it cannot change the bytes).
+// Configs that somehow fail to fingerprint fall back to an uncached Run.
+func RunCached(ctx context.Context, cfg Config, workers int) (*Report, error) {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	key, err := expcache.Fingerprint("fleet", expcache.EngineVersion, ncfg)
+	if err != nil {
+		return Run(ctx, cfg, workers) // unreachable for plain-data configs
+	}
+	return memo.Get(key, func() (*Report, error) {
+		return Run(ctx, ncfg, workers)
+	})
+}
+
+// forEach fans fn out over indices 0..n-1 with at most `workers`
+// concurrent executions, each helper gated by a non-blocking slot from
+// the process-wide scheduler (the caller works inline under its own
+// slot, so nested fan-out cannot deadlock — same contract as the
+// experiment engine's sweep). The smallest-index error wins; cancelling
+// ctx stops new indices.
+func forEach(ctx context.Context, n, workers int, fn func(int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	record := func(i int, err error) {
+		errMu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	work := func() {
+		for ctx.Err() == nil {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				record(i, err)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	spawn := workers - 1
+	if spawn > n-1 {
+		spawn = n - 1
+	}
+	for s := 0; s < spawn && sched.TryAcquire(); s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sched.Release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return parent.Err()
+}
+
+// runCell simulates one cell: every member session over one shared edge
+// link, each behind its own cellular access link, folded into the
+// cell's streaming aggregates as it finishes. The cell is strictly
+// single-threaded and deterministic.
+func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, traces []*netem.Profile, members []Client) (*cellAgg, error) {
+	horizon := 0.0
+	for _, m := range members {
+		if e := m.Arrival + m.Watch; e > horizon {
+			horizon = e
+		}
+	}
+	edge := netem.Constant("edge", cfg.EdgeMbps*1e6, horizon+1)
+	net := simnet.New(simnet.DefaultConfig(), edge)
+
+	agg := newCellAgg(len(svcs))
+	meta := make(map[*player.Session]Client, len(members))
+	g := player.NewGroup()
+	g.SetObserver(func(s *player.Session, r *player.Result) {
+		agg.observe(meta[s].Service, qoe.FromResult(r))
+	})
+	for _, m := range members {
+		svc := svcs[m.Service]
+		pcfg := services.Resolve(svc.Player, m.Watch, nil)
+		sess, err := player.NewSession(pcfg, origins[m.Service], net)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %s session: %w", svc.Name, err)
+		}
+		sess.SetStartAt(m.Arrival)
+		sess.SetAccessLink(net.NewAccessLink(traces[m.Trace-1]))
+		if err := g.Add(sess); err != nil {
+			return nil, err
+		}
+		meta[sess] = m
+	}
+	g.Run()
+	agg.finishCell(net.Delivered(), edge.Integral(0, net.Now()))
+	return agg, nil
+}

@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	schedpkg "repro/internal/sched"
+)
+
+// withSched swaps the package scheduler so a test controls parallelism
+// independently of the machine (the CI box may have one core; the
+// determinism contract must be exercised with real concurrency anyway).
+func withSched(t *testing.T, capacity int) {
+	t.Helper()
+	old := sched
+	sched = schedpkg.New(capacity)
+	t.Cleanup(func() { sched = old })
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	cfg, err := Config{Seed: 3, Sessions: 500}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Workload(cfg), Workload(cfg)
+	if len(a) != 500 {
+		t.Fatalf("got %d clients", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("client %d differs between identical draws: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	prev := 0.0
+	for i, c := range a {
+		if c.Arrival < prev {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+		prev = c.Arrival
+		if c.Arrival >= cfg.ArrivalWindowSec {
+			t.Fatalf("client %d arrival %.1f outside window", i, c.Arrival)
+		}
+		if c.Watch < 5 || c.Watch > cfg.WatchSec {
+			t.Fatalf("client %d watch %.1f outside [5, %.0f]", i, c.Watch, cfg.WatchSec)
+		}
+		if c.Service < 0 || c.Service >= len(cfg.Services) || c.Trace < 1 || c.Trace > 14 {
+			t.Fatalf("client %d out-of-range draw: %+v", i, c)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 4
+	c := Workload(cfg2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+// TestRunWorkersDeterminism is the seed-sensitivity regression test the
+// fleet's whole design serves: the JSON report must be byte-identical
+// between a serial run and a concurrent run on the same seed.
+func TestRunWorkersDeterminism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	withSched(t, 8)
+	cfg := Config{Seed: 5, Sessions: 120, ArrivalWindowSec: 120, WatchSec: 45, ClientsPerCell: 10, Services: []string{"H1", "D2", "S1"}}
+
+	serial, err := Run(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := parallel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb, pb) {
+		t.Fatalf("report bytes differ between workers=1 (%d B) and workers=8 (%d B)", len(sb), len(pb))
+	}
+}
+
+// TestSharedEdgeCoupling checks the population-level economics on one
+// cell: with the edge budget fixed, raising concurrency must lower the
+// per-client achieved (delivered) bitrate, and utilization must never
+// exceed 1 (conservation as seen through the report). Seed 1 hands the
+// two-client case the fastest cellular traces (14 and 13), so access
+// links don't bind and the comparison isolates edge contention.
+func TestSharedEdgeCoupling(t *testing.T) {
+	perClientBps := func(sessions int) float64 {
+		cfg := Config{
+			Seed:             1,
+			Sessions:         sessions,
+			ArrivalWindowSec: 5, // near-simultaneous joins: sustained contention
+			WatchSec:         60,
+			AbandonProb:      -1, // everyone watches the full duration
+			ClientsPerCell:   sessions,
+			EdgeMbps:         10,
+			Services:         []string{"H1"},
+		}
+		rep, err := Run(context.Background(), cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cells != 1 {
+			t.Fatalf("expected one cell, got %d", rep.Cells)
+		}
+		if rep.EdgeUtilization.Over != 0 || rep.EdgeUtilization.Mean > 1+1e-9 {
+			t.Fatalf("%d sessions: edge utilization exceeds 1 (mean %.4f, over %d)",
+				sessions, rep.EdgeUtilization.Mean, rep.EdgeUtilization.Over)
+		}
+		return rep.TotalBytes * 8 / float64(sessions) / cfg.WatchSec
+	}
+	light := perClientBps(2)
+	heavy := perClientBps(16)
+	if light <= 0 {
+		t.Fatalf("degenerate baseline throughput %.0f bit/s", light)
+	}
+	// 16 clients on 10 Mbit/s cap out at 0.625 Mbit/s each; 2 clients on
+	// fast access links should each achieve several times that.
+	if heavy >= light*0.7 {
+		t.Fatalf("per-client throughput did not degrade under contention: 2 clients %.0f bit/s, 16 clients %.0f bit/s", light, heavy)
+	}
+}
+
+// TestReportAccounting checks the streaming aggregation preserves
+// session counts exactly: nothing dropped, nothing double-counted.
+func TestReportAccounting(t *testing.T) {
+	cfg := Config{Seed: 2, Sessions: 90, ArrivalWindowSec: 90, WatchSec: 30, ClientsPerCell: 12, Services: []string{"H1", "H4"}}
+	rep, err := Run(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var svcTotal, started int64
+	for _, s := range rep.Services {
+		svcTotal += s.Sessions
+		started += s.Started
+		if s.Started > s.Sessions {
+			t.Fatalf("%s: started %d > sessions %d", s.Service, s.Started, s.Sessions)
+		}
+		if s.BitrateMbps.Count != s.Started {
+			t.Fatalf("%s: bitrate samples %d != started %d", s.Service, s.BitrateMbps.Count, s.Started)
+		}
+	}
+	if svcTotal != int64(cfg.Sessions) || rep.Sessions != int64(cfg.Sessions) {
+		t.Fatalf("session accounting: per-service sum %d, report %d, want %d", svcTotal, rep.Sessions, cfg.Sessions)
+	}
+	if started != rep.Started {
+		t.Fatalf("started accounting: per-service sum %d, report %d", started, rep.Started)
+	}
+	if rep.TotalBytes <= 0 {
+		t.Fatal("no bytes delivered")
+	}
+}
+
+func TestRunCachedMemoizes(t *testing.T) {
+	cfg := Config{Seed: 11, Sessions: 24, ArrivalWindowSec: 30, WatchSec: 20, ClientsPerCell: 12, Services: []string{"H1"}}
+	a, err := RunCached(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCached(context.Background(), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical configs did not hit the memo")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Config{Sessions: 0}).Normalized(); err == nil {
+		t.Fatal("accepted zero sessions")
+	}
+	if _, err := (Config{Sessions: 10, Services: []string{"NOPE"}}).Normalized(); err == nil {
+		t.Fatal("accepted unknown service")
+	}
+	n, err := (Config{Sessions: 10}).Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Services) != 12 || n.AbandonProb != 0.35 {
+		t.Fatalf("defaults not applied: %+v", n)
+	}
+	n2, err := (Config{Sessions: 10, AbandonProb: -1}).Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.AbandonProb != 0 {
+		t.Fatalf("negative AbandonProb should normalize to 0, got %v", n2.AbandonProb)
+	}
+}

@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/textplot"
+)
+
+// Text rendering of a Report for cmd/vodfleet: a per-service summary
+// table plus population CDFs reconstructed from the report histograms.
+// Everything here reads only the Dist structs, so it is as deterministic
+// as the report itself.
+
+// Summary tabulates per-service population QoE.
+func (r *Report) Summary() *textplot.Table {
+	t := &textplot.Table{
+		Title: "Population QoE by service",
+		Note: fmt.Sprintf("%d sessions, %d cells, %.0f Mbit/s shared edge per cell, seed %d",
+			r.Sessions, r.Cells, r.Config.EdgeMbps, r.Config.Seed),
+		Header: []string{"service", "sessions", "started", "bitrate p50 (Mbps)", "p90", "stall ratio p50", "p90", "startup p50 (s)", "p90", "switch/min p50"},
+	}
+	for _, s := range r.Services {
+		t.AddRow(
+			s.Service,
+			fmt.Sprintf("%d", s.Sessions),
+			fmt.Sprintf("%d", s.Started),
+			fmt.Sprintf("%.2f", s.BitrateMbps.P50),
+			fmt.Sprintf("%.2f", s.BitrateMbps.P90),
+			textplot.Pct(s.StallRatio.P50),
+			textplot.Pct(s.StallRatio.P90),
+			textplot.Secs(s.StartupDelaySec.P50),
+			textplot.Secs(s.StartupDelaySec.P90),
+			fmt.Sprintf("%.1f", s.SwitchesPerMin.P50),
+		)
+	}
+	return t
+}
+
+// cdfSeries rebuilds a CDF polyline from a Dist's histogram: x runs over
+// the bin upper edges, y over the cumulative fraction (Under lifts the
+// start, Over keeps the curve short of 1 inside [Lo, Hi]).
+func cdfSeries(name string, d Dist) textplot.Series {
+	total := d.Under + d.Over
+	for _, c := range d.Counts {
+		total += c
+	}
+	if total == 0 {
+		return textplot.Series{Name: name}
+	}
+	w := (d.Hi - d.Lo) / float64(len(d.Counts))
+	xs := make([]float64, 0, len(d.Counts)+1)
+	ys := make([]float64, 0, len(d.Counts)+1)
+	cum := d.Under
+	xs = append(xs, d.Lo)
+	ys = append(ys, float64(cum)/float64(total))
+	for i, c := range d.Counts {
+		cum += c
+		xs = append(xs, d.Lo+float64(i+1)*w)
+		ys = append(ys, float64(cum)/float64(total))
+	}
+	return textplot.Series{Name: name, X: xs, Y: ys}
+}
+
+// CDFPlots renders the per-service population CDFs (average bitrate,
+// stall ratio, startup delay), one ASCII plot per metric with one curve
+// per service.
+func (r *Report) CDFPlots(width, height int) string {
+	var b strings.Builder
+	metrics := []struct {
+		title string
+		pick  func(ServiceStats) Dist
+	}{
+		{"CDF: per-session average bitrate (Mbit/s)", func(s ServiceStats) Dist { return s.BitrateMbps }},
+		{"CDF: per-session stall ratio", func(s ServiceStats) Dist { return s.StallRatio }},
+		{"CDF: startup delay (s)", func(s ServiceStats) Dist { return s.StartupDelaySec }},
+	}
+	for _, m := range metrics {
+		series := make([]textplot.Series, 0, len(r.Services))
+		for _, s := range r.Services {
+			if sr := cdfSeries(s.Service, m.pick(s)); len(sr.X) > 0 {
+				series = append(series, sr)
+			}
+		}
+		b.WriteString(textplot.Plot(m.title, width, height, series...))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CellTable tabulates the cell-level distributions.
+func (r *Report) CellTable() *textplot.Table {
+	t := &textplot.Table{
+		Title:  "Cell-level distributions",
+		Note:   "one sample per cell (shared-edge coupling)",
+		Header: []string{"metric", "mean", "p10", "p50", "p90"},
+	}
+	add := func(name string, d Dist) {
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", d.Mean),
+			fmt.Sprintf("%.3f", d.P10),
+			fmt.Sprintf("%.3f", d.P50),
+			fmt.Sprintf("%.3f", d.P90))
+	}
+	add("Jain fairness (bitrate)", r.FairnessJain)
+	add("edge utilization", r.EdgeUtilization)
+	return t
+}

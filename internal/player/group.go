@@ -7,13 +7,15 @@ import (
 
 // Group coordinates several sessions over one shared simulated network —
 // the "multiple clients behind one cellular link" scenario that fairness
-// studies like FESTIVE (cited in §5) target. All sessions start at t=0
-// and run until their own SessionDuration; the fluid network arbitrates
-// their transfers max-min fairly.
+// studies like FESTIVE (cited in §5) target, and the building block of a
+// fleet cell. Sessions start at t=0 unless scheduled later with
+// Session.SetStartAt, and each runs for its own SessionDuration from its
+// start; the fluid network arbitrates their transfers max-min fairly.
 //
 // A single session's Run is the one-member special case of a Group.
 type Group struct {
 	sessions []*Session
+	observer func(*Session, *Result)
 }
 
 // NewGroup creates a coordinator; sessions added to it must share one
@@ -30,8 +32,16 @@ func (g *Group) Add(s *Session) error {
 	return nil
 }
 
+// SetObserver registers fn, called exactly once per session as it
+// finishes (finish order, which is deterministic). When an observer is
+// set, Run returns nil and each session's Result is released right
+// after its callback returns — the memory-bounded streaming mode
+// population runs use: the caller folds the Result into its aggregates
+// and must not retain it.
+func (g *Group) SetObserver(fn func(*Session, *Result)) { g.observer = fn }
+
 // Run drives every session to completion and returns their results in
-// the order they were added.
+// the order they were added (nil when an observer is set).
 func (g *Group) Run() []*Result {
 	if len(g.sessions) == 0 {
 		return nil
@@ -46,8 +56,17 @@ func (g *Group) Run() []*Result {
 			if s.done {
 				continue
 			}
-			if now >= s.cfg.SessionDuration-eps || s.finished {
-				s.finishRun()
+			if now < s.startAt-eps {
+				// Not yet arrived: keep the run alive and make sure the
+				// clock steps to the arrival, but issue nothing.
+				allDone = false
+				if s.startAt < deadline {
+					deadline = s.startAt
+				}
+				continue
+			}
+			if now >= s.endAt()-eps || s.finished {
+				g.finish(s)
 				continue
 			}
 			allDone = false
@@ -55,8 +74,8 @@ func (g *Group) Run() []*Result {
 			if d := s.nextDeadline(); d < deadline {
 				deadline = d
 			}
-			if s.cfg.SessionDuration < deadline {
-				deadline = s.cfg.SessionDuration
+			if e := s.endAt(); e < deadline {
+				deadline = e
 			}
 			inflight += s.inflight
 		}
@@ -66,7 +85,7 @@ func (g *Group) Run() []*Result {
 		if inflight == 0 && math.IsInf(deadline, 1) {
 			for _, s := range g.sessions {
 				if !s.done {
-					s.finishRun()
+					g.finish(s)
 				}
 			}
 			break
@@ -90,11 +109,28 @@ func (g *Group) Run() []*Result {
 			net.Recycle(tr)
 		}
 	}
+	if g.observer != nil {
+		return nil
+	}
 	out := make([]*Result, len(g.sessions))
 	for i, s := range g.sessions {
 		out[i] = s.res
 	}
 	return out
+}
+
+// finish finalizes a session once, notifies the observer, and — in
+// observer mode — releases the Result so a population run never holds
+// more than the in-flight cell's worth of per-session state.
+func (g *Group) finish(s *Session) {
+	if s.done {
+		return
+	}
+	s.finishRun()
+	if g.observer != nil {
+		g.observer(s, s.res)
+		s.res = nil
+	}
 }
 
 // finishRun finalizes a session once and releases its connections so

@@ -29,6 +29,12 @@ type Session struct {
 	conns []*simnet.Conn
 	live  []*reqMeta // in-flight request per connection slot
 
+	// startAt offsets the whole session on the shared network clock
+	// (fleet arrivals); 0 for ordinary sessions. link, when non-nil,
+	// routes every connection through a per-client access link.
+	startAt float64
+	link    *simnet.AccessLink
+
 	// playback state
 	playhead       float64
 	lastTime       float64
@@ -179,6 +185,28 @@ func NewSession(cfg Config, org *origin.Origin, net *simnet.Network) (*Session, 
 	return s, nil
 }
 
+// SetStartAt schedules the session to arrive at virtual time t on the
+// shared network clock (a fleet client joining mid-window). Call before
+// the session runs, on a session driven by a Group. The session issues
+// nothing before t, SessionDuration counts from t, and per-session
+// metrics (startup delay, 1 Hz samples) are anchored at t.
+func (s *Session) SetStartAt(t float64) {
+	if t < 0 {
+		t = 0
+	}
+	s.startAt = t
+	s.lastTime = t
+	s.nextSample = t
+}
+
+// SetAccessLink routes all of the session's connections through the
+// given per-client access link (simnet.Network.NewAccessLink); nil
+// keeps the plain shared-link behaviour. Call before the session runs.
+func (s *Session) SetAccessLink(l *simnet.AccessLink) { s.link = l }
+
+// endAt is the wall time the session's duration budget expires.
+func (s *Session) endAt() float64 { return s.startAt + s.cfg.SessionDuration }
+
 // viewCache memoizes clientView per presentation: the view is read-only,
 // and experiments run thousands of sessions against a handful of shared
 // presentations, so cloning the segment tables per session was one of the
@@ -253,7 +281,7 @@ func (s *Session) separateAudio() bool { return len(s.pres.Audio) > 0 }
 
 func (s *Session) conn(slot int) *simnet.Conn {
 	if s.conns[slot] == nil {
-		s.conns[slot] = s.net.Dial()
+		s.conns[slot] = s.net.DialVia(s.link)
 	}
 	return s.conns[slot]
 }
@@ -469,7 +497,10 @@ func (s *Session) startPlaying() {
 	}
 	if !s.started {
 		s.started = true
-		s.res.StartupDelay = s.net.Now()
+		// Startup delay is measured from the session's own arrival, so a
+		// fleet client joining at t=400 reports the same delay a solo
+		// session (startAt 0) would.
+		s.res.StartupDelay = s.net.Now() - s.startAt
 		s.event("startup", fmt.Sprintf("playback started, delay %.2fs", s.res.StartupDelay))
 	} else if s.stallOpen {
 		s.res.Stalls = append(s.res.Stalls, Stall{Start: s.stallStart, End: s.net.Now()})
@@ -1071,7 +1102,7 @@ func (s *Session) prevDownloadedTrack(index int) int {
 }
 
 func (s *Session) finalize() {
-	end := math.Min(s.net.Now(), s.cfg.SessionDuration)
+	end := math.Min(s.net.Now(), s.endAt())
 	s.advancePlayback(end)
 	if s.playing {
 		s.playing = false

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestCapacityFloor(t *testing.T) {
+	if got := New(0).Capacity(); got != 1 {
+		t.Fatalf("New(0) capacity = %d, want 1", got)
+	}
+	if got := New(-3).Capacity(); got != 1 {
+		t.Fatalf("New(-3) capacity = %d, want 1", got)
+	}
+	if got := New(4).Capacity(); got != 4 {
+		t.Fatalf("New(4) capacity = %d, want 4", got)
+	}
+}
+
+func TestTryAcquireExhausts(t *testing.T) {
+	s := New(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("TryAcquire failed with free slots")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded beyond capacity")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+	s.Release()
+	s.Release()
+}
+
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	s := New(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- s.Acquire(context.Background()) }()
+	select {
+	case <-got:
+		t.Fatal("Acquire succeeded while the slot was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not wake after Release")
+	}
+	s.Release()
+}
+
+func TestAcquireHonorsContext(t *testing.T) {
+	s := New(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Acquire(ctx); err == nil {
+		t.Fatal("Acquire ignored a cancelled context")
+	}
+}

@@ -1,0 +1,153 @@
+package simnet
+
+// Tests for the two-level shared-edge / private-access topology
+// (AccessLink): conservation at both levels in the style of the
+// reference differential tests, equivalence of DialVia with an
+// effectively unconstrained access link, and per-client degradation as
+// edge concurrency rises.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netem"
+)
+
+// driveWorkload runs a seeded request loop: nClients clients, each
+// dialing one connection via its own access link (nil = no link),
+// issuing back-to-back transfers until the horizon. Returns total
+// delivered bytes per client and the completion log (time, client).
+func driveWorkload(t *testing.T, n *Network, conns []*Conn, horizon float64, seed int64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	perClient := make([]float64, len(conns))
+	cur := make([]*Transfer, len(conns))
+	for i, c := range conns {
+		cur[i] = c.Start(1e5+rng.Float64()*4e6, i)
+	}
+	for n.Now() < horizon {
+		for _, tr := range n.Step(n.Now() + 0.25) {
+			i := tr.Meta.(int)
+			perClient[i] += tr.Size
+			if n.Now() < horizon {
+				cur[i] = conns[i].Start(1e5+rng.Float64()*4e6, i)
+			}
+		}
+	}
+	for i, tr := range cur {
+		if tr != nil && !tr.Done {
+			perClient[i] += tr.Size - tr.Remaining()
+		}
+	}
+	return perClient
+}
+
+// TestAccessLinkConservation drives clients behind per-client cellular
+// access links over one shared edge and checks conservation at both
+// levels: the edge never delivers more than its capacity integral, and
+// no client receives more than its own access profile's integral.
+func TestAccessLinkConservation(t *testing.T) {
+	const horizon = 120.0
+	edge := netem.Constant("edge", 30e6, horizon+1)
+	net := New(DefaultConfig(), edge)
+
+	const clients = 8
+	conns := make([]*Conn, clients)
+	links := make([]*AccessLink, clients)
+	for i := range conns {
+		links[i] = net.NewAccessLink(netem.Cellular(1 + i%netem.CellularCount))
+		conns[i] = net.DialVia(links[i])
+	}
+	perClient := driveWorkload(t, net, conns, horizon, 42)
+
+	// Edge-level conservation: aggregate throughput never exceeds the
+	// shared budget.
+	edgeBudget := edge.Integral(0, net.Now()) / 8
+	if net.Delivered() > edgeBudget*(1+1e-9) {
+		t.Fatalf("edge conservation violated: delivered %.0f B > budget %.0f B", net.Delivered(), edgeBudget)
+	}
+	total := 0.0
+	for i, b := range perClient {
+		total += b
+		// Access-level conservation: each client is capped by its own
+		// cellular profile. The per-flow share is rateBps/flows of the
+		// profile sample held piecewise constant between refreshes, so
+		// the integral bound holds per segment and in sum.
+		linkBudget := links[i].Profile().Integral(0, net.Now()) / 8
+		if b > linkBudget*(1+1e-9) {
+			t.Fatalf("client %d: access conservation violated: %.0f B > %.0f B", i, b, linkBudget)
+		}
+		if b <= 0 {
+			t.Fatalf("client %d delivered nothing", i)
+		}
+	}
+	if total > net.Delivered()*(1+1e-9) {
+		t.Fatalf("per-client sum %.0f B exceeds network delivered %.0f B", total, net.Delivered())
+	}
+}
+
+// TestDialViaUnconstrainedMatchesDial requires that an access link far
+// wider than the edge is observationally identical — bit for bit — to
+// no access link at all: the min() in effCap must be exact, not an
+// approximation.
+func TestDialViaUnconstrainedMatchesDial(t *testing.T) {
+	const horizon = 90.0
+	run := func(via bool) ([]float64, float64) {
+		edge := netem.Constant("edge", 8e6, horizon+1)
+		net := New(DefaultConfig(), edge)
+		conns := make([]*Conn, 5)
+		for i := range conns {
+			if via {
+				conns[i] = net.DialVia(net.NewAccessLink(netem.Constant("wide", 1e12, horizon+1)))
+			} else {
+				conns[i] = net.Dial()
+			}
+		}
+		return driveWorkload(t, net, conns, horizon, 7), net.Delivered()
+	}
+	plain, dPlain := run(false)
+	linked, dLinked := run(true)
+	if dPlain != dLinked { //vodlint:allow floateq — bit-identical equivalence is the contract under test
+		t.Fatalf("delivered differs: plain %v via %v", dPlain, dLinked)
+	}
+	for i := range plain {
+		if plain[i] != linked[i] { //vodlint:allow floateq — bit-identical equivalence is the contract under test
+			t.Fatalf("client %d differs: plain %v via %v", i, plain[i], linked[i])
+		}
+	}
+}
+
+// TestEdgeSharingDegradesPerClient pins the economics of the shared
+// edge: on a fixed budget, per-client achieved throughput falls as
+// concurrency rises, while the aggregate stays within the budget.
+func TestEdgeSharingDegradesPerClient(t *testing.T) {
+	const horizon = 60.0
+	perClientAvg := func(clients int) float64 {
+		edge := netem.Constant("edge", 12e6, horizon+1)
+		net := New(DefaultConfig(), edge)
+		conns := make([]*Conn, clients)
+		for i := range conns {
+			// Generous identical access links so the shared edge is the
+			// binding constraint.
+			conns[i] = net.DialVia(net.NewAccessLink(netem.Constant("acc", 40e6, horizon+1)))
+		}
+		per := driveWorkload(t, net, conns, horizon, 11)
+		sum := 0.0
+		for _, b := range per {
+			sum += b
+		}
+		if budget := edge.Integral(0, net.Now()) / 8; net.Delivered() > budget*(1+1e-9) {
+			t.Fatalf("%d clients: delivered %.0f B > edge budget %.0f B", clients, net.Delivered(), budget)
+		}
+		return sum / float64(clients)
+	}
+	two := perClientAvg(2)
+	twelve := perClientAvg(12)
+	if twelve >= two*0.6 {
+		t.Fatalf("per-client bytes did not degrade under contention: 2 clients %.0f B/client, 12 clients %.0f B/client", two, twelve)
+	}
+	if math.IsNaN(two) || two <= 0 {
+		t.Fatalf("degenerate baseline: %.0f", two)
+	}
+}

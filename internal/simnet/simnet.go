@@ -135,6 +135,30 @@ func (t *Transfer) Throughput() float64 {
 	return t.Size * 8 / (t.Completed - t.Started)
 }
 
+// AccessLink models one client's own access link — its radio channel in
+// the fleet's two-level "shared edge, private access" topology. The link
+// carries a time-varying rate budget from a netem.Profile (the trace
+// loops, exactly as the edge profile does); the budget is divided evenly
+// among the link's flowing transfers and applied as a per-transfer cap
+// on top of the edge link's max-min fair share, so a client's achieved
+// rate is min(its access budget, its fair share of the edge). Even
+// division is the fluid-model stand-in for TCP fair sharing on the
+// access bottleneck: it can under-fill the link when one of the
+// client's transfers is held below its share by slow start, which is
+// conservative (never optimistic) and keeps per-link conservation
+// exact.
+//
+// Create links with Network.NewAccessLink and attach them with DialVia.
+type AccessLink struct {
+	cursor  netem.Cursor
+	profile *netem.Profile
+	rateBps float64 // profile sample at the last refresh (bits/s)
+	flows   int     // flowing transfers currently carried by the link
+}
+
+// Profile returns the bandwidth profile driving the link.
+func (l *AccessLink) Profile() *netem.Profile { return l.profile }
+
 // Conn models one TCP connection.
 type Conn struct {
 	net         *Network
@@ -142,6 +166,7 @@ type Conn struct {
 	closed      bool
 	capBps      float64 // slow-start cap in bytes/s; +Inf when steady
 	staticCap   float64 // per-connection ceiling in bytes/s; +Inf when none
+	access      *AccessLink
 	nextGrow    float64 // next window doubling time (valid while ramping and active)
 	lastActive  float64 // completion time of the last transfer
 	cur         *Transfer
@@ -159,12 +184,19 @@ func (c *Conn) Established() bool { return c.established }
 func (c *Conn) InSlowStart() bool { return !math.IsInf(c.capBps, 1) }
 
 // effCap is the connection's effective rate ceiling in bytes/s: the
-// tighter of the slow-start window and the static per-connection cap.
+// tightest of the slow-start window, the static per-connection cap, and
+// the connection's even share of its access link's current budget.
 func (c *Conn) effCap() float64 {
-	if c.staticCap < c.capBps {
-		return c.staticCap
+	r := c.capBps
+	if c.staticCap < r {
+		r = c.staticCap
 	}
-	return c.capBps
+	if l := c.access; l != nil && l.flows > 0 {
+		if share := l.rateBps / 8 / float64(l.flows); share < r {
+			r = share
+		}
+	}
+	return r
 }
 
 // Close releases the connection. A non-persistent client closes after
@@ -287,6 +319,21 @@ func (n *Network) Dial() *Conn {
 	return c
 }
 
+// NewAccessLink creates an access link over the given profile (bits/s,
+// looping). Connections attach with DialVia; a link shared by several
+// connections divides its budget evenly among their flowing transfers.
+func (n *Network) NewAccessLink(p *netem.Profile) *AccessLink {
+	return &AccessLink{profile: p, cursor: p.Cursor(), rateBps: -1}
+}
+
+// DialVia creates a connection carried by the given access link; a nil
+// link makes DialVia identical to Dial.
+func (n *Network) DialVia(l *AccessLink) *Conn {
+	c := n.Dial()
+	c.access = l
+	return c
+}
+
 // Recycle returns a transfer to the network's free list so a later
 // Start can reuse the allocation. The caller asserts it holds no other
 // references; recycling an in-flight transfer panics. Recycling is
@@ -347,6 +394,9 @@ func (n *Network) insertFlowing(tr *Transfer) {
 	for j := i; j < len(n.flowing); j++ {
 		n.flowing[j].pos = j
 	}
+	if l := tr.Conn.access; l != nil {
+		l.flows++
+	}
 	n.allocDirty = true
 }
 
@@ -365,6 +415,9 @@ func (n *Network) removeFlowing(tr *Transfer) {
 		n.flowing[j].pos = j
 	}
 	tr.pos = -1
+	if l := tr.Conn.access; l != nil {
+		l.flows--
+	}
 	n.allocDirty = true
 }
 
@@ -421,8 +474,11 @@ func (n *Network) Step(until float64) []*Transfer {
 		n.promote()
 
 		// Next state-change event: the deadline, a pending transfer's
-		// first byte, a slow-start window doubling, or a bandwidth
-		// boundary in the profile.
+		// first byte, a slow-start window doubling, a bandwidth boundary
+		// in the edge profile, or one in a flowing access link's profile.
+		// The same scan refreshes each access link's cached rate at the
+		// current time — all reads happen at n.now, so folding the
+		// refresh into the event scan is order-independent.
 		next := until
 		for _, tr := range n.pending {
 			if tr.FlowAt < next {
@@ -430,8 +486,22 @@ func (n *Network) Step(until float64) []*Transfer {
 			}
 		}
 		for _, tr := range n.flowing {
-			if c := tr.Conn; c.InSlowStart() && c.nextGrow < next {
+			c := tr.Conn
+			if c.InSlowStart() && c.nextGrow < next {
 				next = c.nextGrow
+			}
+			if l := c.access; l != nil {
+				if b := l.cursor.NextBoundary(n.now); b < next {
+					next = b
+				}
+				// Exact comparison on purpose: an unchanged
+				// piecewise-constant sample means the memoized rates are
+				// still valid; any real profile change flips the sample
+				// value exactly (same idiom as lastCapacity below).
+				if r := l.cursor.At(n.now); r != l.rateBps { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
+					l.rateBps = r
+					n.allocDirty = true
+				}
 			}
 		}
 		if b := n.cursor.NextBoundary(n.now); b < next {

@@ -1,0 +1,129 @@
+package traffic_test
+
+// FuzzAnalyze feeds the traffic analyzer mutated transaction logs —
+// corrupted playlists, reordered and truncated requests, perturbed
+// ranges, flipped document bytes. The analyzer parses attacker-shaped
+// input in real deployments (a pcap is whatever the network produced),
+// so the contract is: any mutation of a valid log may return an error
+// but must never panic, and whatever Result comes back must be
+// internally consistent (indices within the reconstructed presentation,
+// sane intervals, start-time-ordered segments).
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/services"
+	"repro/internal/traffic"
+)
+
+// fuzzBases builds one real transaction log per protocol family (HLS,
+// range-addressed DASH, Smooth) by streaming the service in the
+// simulator. Built once — fuzz iterations must be cheap.
+var fuzzBases = sync.OnceValues(func() ([][]traffic.Transaction, error) {
+	var bases [][]traffic.Transaction
+	for _, name := range []string{"H1", "D2", "S1"} {
+		res, err := services.ByName(name).Run(netem.Constant("c", 4e6, 600), 120, nil)
+		if err != nil {
+			return nil, err
+		}
+		bases = append(bases, res.Transactions)
+	}
+	return bases, nil
+})
+
+// mutateTxs applies a seeded sequence of structural mutations. Bodies
+// are deep-copied before editing: the base logs are shared across
+// iterations.
+func mutateTxs(rng *rand.Rand, txs []traffic.Transaction) []traffic.Transaction {
+	out := make([]traffic.Transaction, len(txs))
+	copy(out, txs)
+	for n := 1 + rng.Intn(8); n > 0 && len(out) > 0; n-- {
+		i := rng.Intn(len(out))
+		switch rng.Intn(9) {
+		case 0: // drop a transaction (lost packet capture)
+			out = append(out[:i], out[i+1:]...)
+		case 1: // duplicate (retransmission / retry)
+			out = append(out[:i+1], out[i:]...)
+		case 2: // swap two entries (reordering)
+			j := rng.Intn(len(out))
+			out[i], out[j] = out[j], out[i]
+		case 3: // truncate the log (capture cut short)
+			out = out[:i]
+		case 4: // flip bytes inside a document body
+			if len(out[i].Body) > 0 {
+				b := append([]byte(nil), out[i].Body...)
+				for k := 0; k < 1+rng.Intn(4); k++ {
+					b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+				}
+				out[i].Body = b
+			}
+		case 5: // perturb the byte range
+			out[i].RangeStart = rng.Int63n(1 << 20)
+			out[i].RangeEnd = out[i].RangeStart + rng.Int63n(1<<20) - 1000
+		case 6: // lie about the transferred size
+			out[i].Bytes = rng.Int63n(1 << 24)
+		case 7: // drop a document body (media-shaped)
+			out[i].Body = nil
+		case 8: // scramble the URL
+			u := []byte(out[i].URL)
+			if len(u) > 0 {
+				u[rng.Intn(len(u))] ^= byte(1 + rng.Intn(255))
+				out[i].URL = string(u)
+			}
+		}
+	}
+	return out
+}
+
+func FuzzAnalyze(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(seed%3))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, base uint8) {
+		bases, err := fuzzBases()
+		if err != nil {
+			t.Skipf("base session failed: %v", err)
+		}
+		txs := mutateTxs(rand.New(rand.NewSource(seed)), bases[int(base)%len(bases)])
+		res, err := traffic.Analyze("fuzz", txs)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		checkResult(t, res)
+	})
+}
+
+// checkResult enforces the analyzer's output invariants regardless of
+// input shape.
+func checkResult(t *testing.T, res *traffic.Result) {
+	t.Helper()
+	prevStart := -1.0
+	for i, s := range res.Segments {
+		if s.Track < 0 || s.Index < 0 {
+			t.Fatalf("segment %d: negative track/index: %+v", i, s)
+		}
+		if p := res.Presentation; p != nil {
+			ladder := p.Video
+			if s.Type == media.TypeAudio {
+				ladder = p.Audio
+			}
+			if len(ladder) > 0 && s.Track >= len(ladder) {
+				t.Fatalf("segment %d: track %d outside %d-rung ladder", i, s.Track, len(ladder))
+			}
+		}
+		if s.End < s.Start {
+			t.Fatalf("segment %d: End %.3f before Start %.3f", i, s.End, s.Start)
+		}
+		if s.Duration < 0 || s.Declared < 0 || s.Bytes < 0 {
+			t.Fatalf("segment %d: negative duration/bitrate/bytes: %+v", i, s)
+		}
+		if s.Start < prevStart {
+			t.Fatalf("segments not in start-time order at %d: %.3f after %.3f", i, s.Start, prevStart)
+		}
+		prevStart = s.Start
+	}
+}
