@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke cache-determinism fleet-smoke
+.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke cache-determinism fleet-smoke fleet-scale
 
 build:
 	$(GO) build ./...
@@ -37,11 +37,22 @@ lint-vettool:
 verify: build vet fmt-check lint test
 
 # Native fuzz targets, a few seconds each — the CI smoke setting.
+# Targets are discovered by scanning test files, so a new Fuzz* harness
+# anywhere in the module joins the smoke run automatically instead of
+# silently never fuzzing.
 FUZZTIME ?= 10s
 fuzz-smoke:
-	$(GO) test ./internal/player/ -run '^$$' -fuzz '^FuzzSessionInvariants$$' -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/player/ -run '^$$' -fuzz '^FuzzSessionDeterminism$$' -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/traffic/ -run '^$$' -fuzz '^FuzzAnalyze$$' -fuzztime $(FUZZTIME)
+	@set -e; found=0; \
+	for dir in $$($(GO) list -f '{{.Dir}}' ./...); do \
+		targets="$$(grep -hoE '^func Fuzz[A-Za-z0-9_]*' "$$dir"/*_test.go 2>/dev/null | sed 's/^func //' | sort -u)"; \
+		[ -n "$$targets" ] || continue; \
+		for t in $$targets; do \
+			found=1; \
+			echo "fuzz-smoke: $$dir $$t"; \
+			$(GO) test "$$dir" -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME); \
+		done; \
+	done; \
+	[ "$$found" = 1 ] || { echo "fuzz-smoke: no fuzz targets discovered" >&2; exit 1; }
 
 test:
 	$(GO) test ./...
@@ -68,11 +79,14 @@ bench-json:
 
 # Gate the current tree against the committed baseline. ns/op is
 # calibration-normalized (cross-machine safe); allocs/op is exact.
-# BENCH_FILTER narrows the suite (calibration always runs).
+# BENCH_FILTER narrows the suite (calibration always runs). The current
+# numbers are always written to BENCH_COMPARE_OUT — before gating — so
+# a failed gate leaves the evidence behind for artifact upload.
 BENCH_BASE ?= BENCH_baseline.json
 BENCH_FILTER ?=
+BENCH_COMPARE_OUT ?= BENCH_current.json
 bench-compare:
-	$(GO) run ./cmd/vodbench -bench -filter '$(BENCH_FILTER)' -compare $(BENCH_BASE)
+	$(GO) run ./cmd/vodbench -bench -filter '$(BENCH_FILTER)' -compare $(BENCH_BASE) -benchout $(BENCH_COMPARE_OUT)
 
 # Regenerate REPORT.md on all cores (vodreport -workers N to override).
 report:
@@ -105,3 +119,28 @@ fleet-smoke:
 	bin/vodfleet -sessions 600 -seed 1 -workers 8 -q -nocache -json "$$dir/w8.json" && \
 	cmp "$$dir/w1.json" "$$dir/w8.json" && \
 	echo "fleet-smoke: workers=1 and workers=8 reports are byte-identical"
+
+# Scale gate: a 100k-session mixed-fidelity fleet (5% full player, 95%
+# background tier, 8 focus members) run at two worker counts must emit
+# byte-identical JSON while the in-process heap sampler enforces the
+# memory contract (-memceiling-mb aborts the run the moment the live
+# heap crosses the ceiling — no external RSS probe needed). Override
+# FLEET_SCALE_SESSIONS=1000000 for the nightly million-session run, and
+# FLEET_SCALE_DIR to keep the reports for artifact upload.
+FLEET_SCALE_SESSIONS ?= 100000
+FLEET_SCALE_CEILING_MB ?= 512
+FLEET_SCALE_DIR ?=
+fleet-scale:
+	$(GO) build -o bin/vodfleet ./cmd/vodfleet
+	@if [ -n "$(FLEET_SCALE_DIR)" ]; then \
+		dir="$(FLEET_SCALE_DIR)"; mkdir -p "$$dir"; \
+	else \
+		dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	fi; \
+	set -x; \
+	bin/vodfleet -sessions $(FLEET_SCALE_SESSIONS) -fidelity 0.05 -focus 8 -seed 1 \
+		-workers 2 -q -nocache -memceiling-mb $(FLEET_SCALE_CEILING_MB) -json "$$dir/w2.json" && \
+	bin/vodfleet -sessions $(FLEET_SCALE_SESSIONS) -fidelity 0.05 -focus 8 -seed 1 \
+		-workers 8 -q -nocache -memceiling-mb $(FLEET_SCALE_CEILING_MB) -json "$$dir/w8.json" && \
+	cmp "$$dir/w2.json" "$$dir/w8.json" && \
+	echo "fleet-scale: $(FLEET_SCALE_SESSIONS) sessions byte-identical across worker counts under a $(FLEET_SCALE_CEILING_MB) MiB heap ceiling"

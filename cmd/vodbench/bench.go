@@ -208,6 +208,21 @@ func substrateSpecs() ([]benchSpec, error) {
 				}
 			}
 		}},
+		// fleet_1m: the million-session tier — a mixed-fidelity population
+		// (5% full player, 95% background flows) through the work-stealing
+		// shard layer and columnar aggregation, serial for per-session
+		// cost tracking. This is the scale gate: a regression here means
+		// the lean/columnar/background machinery stopped paying for
+		// itself.
+		{"substrate/fleet_1m", "substrate", func(b *testing.B) {
+			cfg := fleet.Config{Seed: 1, Sessions: 1_000_000, FidelityFull: 0.05}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(context.Background(), cfg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
@@ -36,6 +37,9 @@ func main() {
 	abandonMean := flag.Float64("abandon-mean", 0, "mean abandoned watch duration in seconds (0 = default 45)")
 	cellSize := flag.Int("cell-size", 0, "clients per shared edge link (0 = default 24)")
 	edgeMbps := flag.Float64("edge-mbps", 0, "shared edge budget per cell in Mbit/s (0 = default 40)")
+	fidelity := flag.Float64("fidelity", 0, "fraction of sessions at full player fidelity (0 = default 1, negative = all background tier)")
+	focus := flag.Int("focus", 0, "retain full per-session records for this many seeded focus members")
+	memCeiling := flag.Int("memceiling-mb", 0, "fail if live heap exceeds this many MiB during the run (0 = no ceiling)")
 	svcList := flag.String("services", "", "comma-separated service mix (empty = all 12; repeats weight the mix)")
 	jsonOut := flag.String("json", "", "write the full JSON report to this file (- for stdout)")
 	quiet := flag.Bool("q", false, "suppress the text summary and plots")
@@ -53,6 +57,8 @@ func main() {
 		AbandonMeanSec:   *abandonMean,
 		ClientsPerCell:   *cellSize,
 		EdgeMbps:         *edgeMbps,
+		FidelityFull:     *fidelity,
+		FocusSessions:    *focus,
 	}
 	if *svcList != "" {
 		for _, s := range strings.Split(*svcList, ",") {
@@ -60,6 +66,29 @@ func main() {
 				cfg.Services = append(cfg.Services, s)
 			}
 		}
+	}
+
+	// The heap ceiling is a self-gate for CI: a background sampler
+	// watches the live heap and aborts the process the moment the
+	// memory contract is broken, instead of trusting an external RSS
+	// probe that varies with the allocator and the OS.
+	var peakHeap atomic.Uint64
+	if *memCeiling > 0 {
+		limit := uint64(*memCeiling) << 20
+		go func() {
+			var ms runtime.MemStats
+			for {
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peakHeap.Load() {
+					peakHeap.Store(ms.HeapAlloc)
+				}
+				if ms.HeapAlloc > limit {
+					log.Fatalf("vodfleet: live heap %.1f MiB exceeded the %d MiB ceiling",
+						float64(ms.HeapAlloc)/(1<<20), *memCeiling)
+				}
+				time.Sleep(100 * time.Millisecond) //vodlint:allow simclock — heap sampler cadence, never enters the report
+			}
+		}()
 	}
 
 	run := fleet.RunCached
@@ -74,6 +103,10 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "vodfleet: %d sessions in %d cells simulated in %.1fs\n",
 			rep.Sessions, rep.Cells, time.Since(start).Seconds()) //vodlint:allow simclock — wall-clock progress timing only
+	}
+	if *memCeiling > 0 {
+		fmt.Fprintf(os.Stderr, "vodfleet: peak live heap %.1f MiB (ceiling %d MiB)\n",
+			float64(peakHeap.Load())/(1<<20), *memCeiling)
 	}
 
 	if *jsonOut != "" {

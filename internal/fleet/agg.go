@@ -8,15 +8,26 @@ import (
 )
 
 // This file is the memory-bounded reduction layer: a fleet of any size
-// folds into a fixed number of fixed-size accumulators (per service ×
-// metric: one histogram + one online mean/variance), so a 100k-session
-// run costs the same aggregate memory as a 100-session run. All merges
-// happen in deterministic cell-index order (see Run), which makes the
-// floating-point fold sequence — and therefore the report bytes —
-// independent of the worker count.
+// folds into a fixed number of fixed-size accumulators, so a million-
+// session run costs the same aggregate memory as a hundred-session run.
+//
+// The per-service accumulators are columnar (struct-of-arrays): one
+// int64 slab carries every histogram bin and counter, one float64 slab
+// carries every Welford column, for all services × metrics. A session
+// observation touches one row of each column; a merge is a handful of
+// flat slice loops over contiguous memory — no per-metric pointers, no
+// per-histogram allocations, and a cell aggregate is two slabs the
+// allocator hands back in one piece. All merges happen in deterministic
+// cell-index order within a shard and shard-index order across shards
+// (see Run), which makes the floating-point fold sequence — and
+// therefore the report bytes — independent of the worker count and of
+// the steal schedule.
 
 // hist is a fixed-bin histogram over [Lo, Hi). Out-of-range samples are
-// counted in Under/Over so totals are never silently lost.
+// counted in Under/Over so totals are never silently lost. The fleet-
+// level per-cell metrics (fairness, utilization) use it directly; the
+// per-service hot path uses the same binning arithmetic on the columnar
+// slabs.
 type hist struct {
 	Lo, Hi float64
 	Counts []int64
@@ -52,19 +63,15 @@ func (h *hist) merge(o *hist) {
 	h.Over += o.Over
 }
 
-func (h *hist) total() int64 {
-	n := h.Under + h.Over
-	for _, c := range h.Counts {
+// quantileWalk returns the p-th percentile (0..100) of a binned
+// distribution by walking the cumulative counts: under samples sit at
+// lo, over samples at hi, and a bin resolves to its upper edge. Integer
+// walk — fully deterministic.
+func quantileWalk(p, lo, hi float64, counts []int64, under, over int64) float64 {
+	n := under + over
+	for _, c := range counts {
 		n += c
 	}
-	return n
-}
-
-// quantile returns the p-th percentile (0..100) by walking the
-// cumulative counts: Under samples sit at Lo, Over samples at Hi, and a
-// bin resolves to its upper edge. Integer walk — fully deterministic.
-func (h *hist) quantile(p float64) float64 {
-	n := h.total()
 	if n == 0 {
 		return 0
 	}
@@ -72,18 +79,18 @@ func (h *hist) quantile(p float64) float64 {
 	if target < 1 {
 		target = 1
 	}
-	cum := h.Under
+	cum := under
 	if cum >= target {
-		return h.Lo
+		return lo
 	}
-	w := (h.Hi - h.Lo) / float64(len(h.Counts))
-	for i, c := range h.Counts {
+	w := (hi - lo) / float64(len(counts))
+	for i, c := range counts {
 		cum += c
 		if cum >= target {
-			return h.Lo + float64(i+1)*w
+			return lo + float64(i+1)*w
 		}
 	}
-	return h.Hi
+	return hi
 }
 
 // welford is Welford's online mean/variance, merged pairwise with the
@@ -116,16 +123,16 @@ func (w *welford) merge(o welford) {
 	w.N += o.N
 }
 
-func (w *welford) std() float64 {
-	if w.N < 2 {
+func stdOf(n int64, m2 float64) float64 {
+	if n < 2 {
 		return 0
 	}
-	return math.Sqrt(w.M2 / float64(w.N-1))
+	return math.Sqrt(m2 / float64(n-1))
 }
 
-// metricAgg pairs the exact online moments with a histogram for
-// percentiles/CDFs — together a complete, fixed-size summary of one
-// metric's population distribution.
+// metricAgg pairs the exact online moments with a histogram — the
+// fleet-level singles (fairness, utilization) that don't justify a
+// columnar layout.
 type metricAgg struct {
 	w welford
 	h *hist
@@ -141,8 +148,24 @@ func (m *metricAgg) merge(o *metricAgg) {
 	m.h.merge(o.h)
 }
 
-// Histogram ranges. Bounds are part of the report schema: changing them
-// changes the bytes (EngineVersion covers the cache side).
+func (m *metricAgg) dist() Dist {
+	return Dist{
+		Count:  m.w.N,
+		Mean:   m.w.Mean,
+		Std:    stdOf(m.w.N, m.w.M2),
+		P10:    quantileWalk(10, m.h.Lo, m.h.Hi, m.h.Counts, m.h.Under, m.h.Over),
+		P50:    quantileWalk(50, m.h.Lo, m.h.Hi, m.h.Counts, m.h.Under, m.h.Over),
+		P90:    quantileWalk(90, m.h.Lo, m.h.Hi, m.h.Counts, m.h.Under, m.h.Over),
+		Lo:     m.h.Lo,
+		Hi:     m.h.Hi,
+		Counts: m.h.Counts,
+		Under:  m.h.Under,
+		Over:   m.h.Over,
+	}
+}
+
+// Histogram geometry. Bounds are part of the report schema: changing
+// them changes the bytes (EngineVersion covers the cache side).
 const (
 	bitrateHiMbps = 10  // ladder tops sit well below 10 Mbit/s
 	startupHiSec  = 30  // startup delays beyond 30 s land in Over
@@ -150,74 +173,177 @@ const (
 	utilHi        = 1.2 // >1 would mean a conservation violation
 )
 
-func newSvcMetrics() [4]metricAgg {
-	return [4]metricAgg{
-		{h: newHist(0, bitrateHiMbps, 40)}, // avg bitrate, Mbit/s
-		{h: newHist(0, 1, 20)},             // stall ratio
-		{h: newHist(0, startupHiSec, 30)},  // startup delay, s
-		{h: newHist(0, switchesHiPM, 24)},  // switches per minute
-	}
-}
-
 const (
 	mBitrate = iota
 	mStall
 	mStartup
 	mSwitches
+	nMetrics
 )
 
-// svcAgg accumulates one service's population.
-type svcAgg struct {
-	sessions int64 // every observed session of this service
-	started  int64 // sessions that reached the first frame
-	m        [4]metricAgg
+var (
+	metricBins = [nMetrics]int{40, 20, 30, 24}
+	metricLo   = [nMetrics]float64{0, 0, 0, 0}
+	metricHi   = [nMetrics]float64{bitrateHiMbps, 1, startupHiSec, switchesHiPM}
+	// metricOff is each metric's bin offset inside a service's stretch
+	// of the histogram slab; binsPerSvc is the stretch length.
+	metricOff  = [nMetrics]int{0, 40, 60, 90}
+	binsPerSvc = 114
+)
+
+// svcCols holds every per-service accumulator for the whole mix in two
+// slabs. Row r = svc*nMetrics + metric addresses the Welford and
+// under/over columns; the histogram bins for (svc, metric) live at
+// counts[svc*binsPerSvc+metricOff[metric] : +metricBins[metric]].
+type svcCols struct {
+	nsvc int
+
+	sessions []int64 // per service: every observed session
+	started  []int64 // per service: sessions that reached first frame
+
+	n     []int64 // Welford count, per row
+	under []int64 // below-range samples, per row
+	over  []int64 // above-range samples, per row
+
+	mean []float64 // Welford mean, per row
+	m2   []float64 // Welford M2, per row
+
+	counts []int64 // histogram slab
 }
 
-func (s *svcAgg) merge(o *svcAgg) {
-	s.sessions += o.sessions
-	s.started += o.started
-	for i := range s.m {
-		s.m[i].merge(&o.m[i])
+func newSvcCols(nsvc int) *svcCols {
+	rows := nsvc * nMetrics
+	// One int64 slab and one float64 slab back every column, so a cell
+	// aggregate is two allocations and merges stream through contiguous
+	// memory.
+	ints := make([]int64, 2*nsvc+3*rows+nsvc*binsPerSvc)
+	floats := make([]float64, 2*rows)
+	c := &svcCols{nsvc: nsvc}
+	c.sessions, ints = ints[:nsvc], ints[nsvc:]
+	c.started, ints = ints[:nsvc], ints[nsvc:]
+	c.n, ints = ints[:rows], ints[rows:]
+	c.under, ints = ints[:rows], ints[rows:]
+	c.over, ints = ints[:rows], ints[rows:]
+	c.counts = ints
+	c.mean, floats = floats[:rows], floats[rows:]
+	c.m2 = floats
+	return c
+}
+
+// add folds one sample of a metric for a service: a Welford column
+// update plus one histogram bin increment, same arithmetic as
+// welford.add and hist.add.
+func (c *svcCols) add(svc, metric int, v float64) {
+	row := svc*nMetrics + metric
+	c.n[row]++
+	d := v - c.mean[row]
+	c.mean[row] += d / float64(c.n[row])
+	c.m2[row] += d * (v - c.mean[row])
+
+	lo, hi := metricLo[metric], metricHi[metric]
+	if v < lo || math.IsNaN(v) {
+		c.under[row]++
+		return
+	}
+	if v >= hi {
+		c.over[row]++
+		return
+	}
+	bins := metricBins[metric]
+	i := int((v - lo) / (hi - lo) * float64(bins))
+	if i >= bins { // guard the v≈hi float edge
+		i = bins - 1
+	}
+	c.counts[svc*binsPerSvc+metricOff[metric]+i]++
+}
+
+// merge folds o into c: flat loops over the slabs, with the Chan et al.
+// pairwise update per Welford row. Callers fix the merge order.
+func (c *svcCols) merge(o *svcCols) {
+	for i := range c.sessions {
+		c.sessions[i] += o.sessions[i]
+		c.started[i] += o.started[i]
+	}
+	for r := range c.n {
+		if o.n[r] == 0 {
+			continue
+		}
+		if c.n[r] == 0 {
+			c.n[r], c.mean[r], c.m2[r] = o.n[r], o.mean[r], o.m2[r]
+			continue
+		}
+		n := float64(c.n[r] + o.n[r])
+		d := o.mean[r] - c.mean[r]
+		c.mean[r] += d * float64(o.n[r]) / n
+		c.m2[r] += o.m2[r] + d*d*float64(c.n[r])*float64(o.n[r])/n
+		c.n[r] += o.n[r]
+	}
+	for i := range c.under {
+		c.under[i] += o.under[i]
+		c.over[i] += o.over[i]
+	}
+	for i, v := range o.counts {
+		c.counts[i] += v
 	}
 }
 
-// cellAgg is one cell's streaming fold: per-service metrics plus the
-// cell-level fairness and utilization samples. bitrates is bounded by
-// the cell size (ClientsPerCell), not the fleet size.
+// dist renders one (service, metric) cell of the columns as a Dist.
+func (c *svcCols) dist(svc, metric int) Dist {
+	row := svc*nMetrics + metric
+	lo, hi := metricLo[metric], metricHi[metric]
+	bins := c.counts[svc*binsPerSvc+metricOff[metric] : svc*binsPerSvc+metricOff[metric]+metricBins[metric]]
+	return Dist{
+		Count:  c.n[row],
+		Mean:   c.mean[row],
+		Std:    stdOf(c.n[row], c.m2[row]),
+		P10:    quantileWalk(10, lo, hi, bins, c.under[row], c.over[row]),
+		P50:    quantileWalk(50, lo, hi, bins, c.under[row], c.over[row]),
+		P90:    quantileWalk(90, lo, hi, bins, c.under[row], c.over[row]),
+		Lo:     lo,
+		Hi:     hi,
+		Counts: bins,
+		Under:  c.under[row],
+		Over:   c.over[row],
+	}
+}
+
+// cellAgg is one cell's streaming fold: the columnar per-service
+// accumulators plus the cell-level fairness and utilization samples.
+// bitrates is bounded by the cell size (ClientsPerCell), not the fleet
+// size.
 type cellAgg struct {
-	svc       []svcAgg
-	bitrates  []float64 // per started client, for the Jain index
-	delivered float64   // bytes the shared edge actually carried
-	offered   float64   // edge capacity integral over the cell run, bytes
+	cols       *svcCols
+	bitrates   []float64 // per started client, for the Jain index
+	delivered  float64   // bytes the shared edge actually carried
+	offered    float64   // edge capacity integral over the cell run, bytes
+	full       int64     // sessions simulated at full fidelity
+	background int64     // sessions simulated as background flows
 }
 
 func newCellAgg(nsvc int) *cellAgg {
-	a := &cellAgg{svc: make([]svcAgg, nsvc)}
-	for i := range a.svc {
-		a.svc[i].m = newSvcMetrics()
-	}
-	return a
+	return &cellAgg{cols: newSvcCols(nsvc)}
 }
 
 // observe folds one finished session. Sessions that never displayed a
 // frame (StartupDelay < 0 — the viewer left before startup) count
 // toward sessions but contribute no metric samples; the started/sessions
-// ratio reports them.
+// ratio reports them. Full sessions arrive here via qoe.FromSummary over
+// the player's online digest; background flows via the same path over
+// their coarse digest — the fold cannot tell them apart.
 func (a *cellAgg) observe(svcIdx int, rep qoe.Report) {
-	sa := &a.svc[svcIdx]
-	sa.sessions++
+	a.cols.sessions[svcIdx]++
 	if rep.StartupDelay < 0 {
 		return
 	}
-	sa.started++
-	sa.m[mBitrate].add(rep.AvgBitrate / 1e6)
+	a.cols.started[svcIdx]++
+	a.cols.add(svcIdx, mBitrate, rep.AvgBitrate/1e6)
 	a.bitrates = append(a.bitrates, rep.AvgBitrate)
 	if denom := rep.PlayedSec + rep.StallSec; denom > 0 {
-		sa.m[mStall].add(rep.StallSec / denom)
+		a.cols.add(svcIdx, mStall, rep.StallSec/denom)
 	}
-	sa.m[mStartup].add(rep.StartupDelay)
+	a.cols.add(svcIdx, mStartup, rep.StartupDelay)
 	if rep.PlayedSec > 0 {
-		sa.m[mSwitches].add(float64(rep.Switches) / (rep.PlayedSec / 60))
+		a.cols.add(svcIdx, mSwitches, float64(rep.Switches)/(rep.PlayedSec/60))
 	}
 }
 
@@ -229,31 +355,28 @@ func (a *cellAgg) finishCell(deliveredBytes, capacityIntegralBps float64) {
 	a.offered = capacityIntegralBps / 8
 }
 
-// fleetAgg folds cellAggs in cell-index order.
+// fleetAgg folds cellAggs in cell-index order; shard aggregates fold
+// into the final fleetAgg in shard-index order.
 type fleetAgg struct {
-	svc         []svcAgg
+	cols        *svcCols
 	fairness    metricAgg
 	utilization metricAgg
 	totalBytes  float64
 	cellsMerged int
+	full        int64
+	background  int64
 }
 
 func newFleetAgg(nsvc int) *fleetAgg {
-	a := &fleetAgg{
-		svc:         make([]svcAgg, nsvc),
+	return &fleetAgg{
+		cols:        newSvcCols(nsvc),
 		fairness:    metricAgg{h: newHist(0, 1, 20)},
 		utilization: metricAgg{h: newHist(0, utilHi, 24)},
 	}
-	for i := range a.svc {
-		a.svc[i].m = newSvcMetrics()
-	}
-	return a
 }
 
 func (a *fleetAgg) merge(c *cellAgg) {
-	for i := range a.svc {
-		a.svc[i].merge(&c.svc[i])
-	}
+	a.cols.merge(c.cols)
 	if len(c.bitrates) > 0 {
 		a.fairness.add(jain(c.bitrates))
 	}
@@ -262,6 +385,19 @@ func (a *fleetAgg) merge(c *cellAgg) {
 	}
 	a.totalBytes += c.delivered
 	a.cellsMerged++
+	a.full += c.full
+	a.background += c.background
+}
+
+// mergeFleet folds another fleetAgg (a completed shard) into a.
+func (a *fleetAgg) mergeFleet(o *fleetAgg) {
+	a.cols.merge(o.cols)
+	a.fairness.merge(&o.fairness)
+	a.utilization.merge(&o.utilization)
+	a.totalBytes += o.totalBytes
+	a.cellsMerged += o.cellsMerged
+	a.full += o.full
+	a.background += o.background
 }
 
 // jain computes Jain's fairness index: (Σx)² / (n·Σx²). 1 means every
@@ -295,22 +431,6 @@ type Dist struct {
 	Over   int64   `json:"over,omitempty"`
 }
 
-func (m *metricAgg) dist() Dist {
-	return Dist{
-		Count:  m.w.N,
-		Mean:   m.w.Mean,
-		Std:    m.w.std(),
-		P10:    m.h.quantile(10),
-		P50:    m.h.quantile(50),
-		P90:    m.h.quantile(90),
-		Lo:     m.h.Lo,
-		Hi:     m.h.Hi,
-		Counts: m.h.Counts,
-		Under:  m.h.Under,
-		Over:   m.h.Over,
-	}
-}
-
 // ServiceStats is one service's slice of the population.
 type ServiceStats struct {
 	Service         string `json:"service"`
@@ -322,15 +442,51 @@ type ServiceStats struct {
 	SwitchesPerMin  Dist   `json:"switches_per_min"`
 }
 
+// FocusSample is one 1 Hz point of a focus session's buffer timeline.
+type FocusSample struct {
+	T         float64 `json:"t"`
+	Playhead  float64 `json:"playhead"`
+	BufferSec float64 `json:"buffer_sec"`
+}
+
+// FocusSession is the retained full-fidelity record of one seeded focus
+// sample member: per-session QoE plus the displayed-track and buffer
+// timelines the population aggregates discard. Focus members that drew
+// the background tier are skipped (they have no full Result), so the
+// focus list never perturbs the population sections.
+type FocusSession struct {
+	Cell            int           `json:"cell"`
+	Member          int           `json:"member"`
+	Service         string        `json:"service"`
+	Trace           int           `json:"trace"`
+	ArrivalSec      float64       `json:"arrival_sec"`
+	WatchSec        float64       `json:"watch_sec"`
+	StartupDelaySec float64       `json:"startup_delay_sec"`
+	StallCount      int           `json:"stall_count"`
+	StallSec        float64       `json:"stall_sec"`
+	PlayedSec       float64       `json:"played_sec"`
+	AvgBitrateMbps  float64       `json:"avg_bitrate_mbps"`
+	Switches        int           `json:"switches"`
+	TotalBytes      float64       `json:"total_bytes"`
+	WastedBytes     float64       `json:"wasted_bytes"`
+	Displayed       []int         `json:"displayed_tracks"`
+	Buffer          []FocusSample `json:"buffer_timeline"`
+}
+
 // Report is the full population summary. Marshaling is struct-ordered
 // and map-free, so the JSON bytes are a pure function of the normalized
-// config.
+// config — independent of worker count and steal schedule. Schema 2:
+// fixed-size shard folds, fidelity counts and the focus section.
 type Report struct {
 	Schema   int    `json:"schema"`
 	Config   Config `json:"config"`
 	Cells    int    `json:"cells"`
 	Sessions int64  `json:"sessions"`
 	Started  int64  `json:"started"`
+	// FullSessions and BackgroundSessions split the population by
+	// simulation tier (FidelityFull controls the mix).
+	FullSessions       int64 `json:"full_sessions"`
+	BackgroundSessions int64 `json:"background_sessions"`
 	// TotalBytes is what the edge links actually carried (media +
 	// documents + waste), summed over cells.
 	TotalBytes float64 `json:"total_bytes"`
@@ -341,30 +497,34 @@ type Report struct {
 	// edge capacity integral. Conservation bounds it by 1.
 	EdgeUtilization Dist           `json:"edge_utilization"`
 	Services        []ServiceStats `json:"services"`
+	// Focus lists the retained focus sessions, sorted by (cell, member).
+	Focus []FocusSession `json:"focus,omitempty"`
 }
 
-func (a *fleetAgg) report(cfg Config, cells int) *Report {
+func (a *fleetAgg) report(cfg Config, cells int, focus []FocusSession) *Report {
 	r := &Report{
-		Schema:          1,
-		Config:          cfg,
-		Cells:           cells,
-		TotalBytes:      a.totalBytes,
-		FairnessJain:    a.fairness.dist(),
-		EdgeUtilization: a.utilization.dist(),
-		Services:        make([]ServiceStats, len(a.svc)),
+		Schema:             2,
+		Config:             cfg,
+		Cells:              cells,
+		FullSessions:       a.full,
+		BackgroundSessions: a.background,
+		TotalBytes:         a.totalBytes,
+		FairnessJain:       a.fairness.dist(),
+		EdgeUtilization:    a.utilization.dist(),
+		Services:           make([]ServiceStats, a.cols.nsvc),
+		Focus:              focus,
 	}
-	for i := range a.svc {
-		sa := &a.svc[i]
-		r.Sessions += sa.sessions
-		r.Started += sa.started
+	for i := 0; i < a.cols.nsvc; i++ {
+		r.Sessions += a.cols.sessions[i]
+		r.Started += a.cols.started[i]
 		r.Services[i] = ServiceStats{
 			Service:         cfg.Services[i],
-			Sessions:        sa.sessions,
-			Started:         sa.started,
-			BitrateMbps:     sa.m[mBitrate].dist(),
-			StallRatio:      sa.m[mStall].dist(),
-			StartupDelaySec: sa.m[mStartup].dist(),
-			SwitchesPerMin:  sa.m[mSwitches].dist(),
+			Sessions:        a.cols.sessions[i],
+			Started:         a.cols.started[i],
+			BitrateMbps:     a.cols.dist(i, mBitrate),
+			StallRatio:      a.cols.dist(i, mStall),
+			StartupDelaySec: a.cols.dist(i, mStartup),
+			SwitchesPerMin:  a.cols.dist(i, mSwitches),
 		}
 	}
 	return r

@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMoments is the straightforward two-pass mean/std for cross-checking
+// the streaming columns.
+func refMoments(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// TestSvcColsMatchesReference checks the columnar accumulator against a
+// two-pass reference and against the scalar welford/hist pair it
+// replaced, per (service, metric) cell.
+func TestSvcColsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nsvc = 3
+	cols := newSvcCols(nsvc)
+	ref := make([][]float64, nsvc*nMetrics)
+	scalar := make([]*metricAgg, nsvc*nMetrics)
+	for m := 0; m < nMetrics; m++ {
+		for s := 0; s < nsvc; s++ {
+			scalar[s*nMetrics+m] = &metricAgg{h: newHist(metricLo[m], metricHi[m], metricBins[m])}
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		svc := rng.Intn(nsvc)
+		metric := rng.Intn(nMetrics)
+		// Spread over the range with deliberate out-of-range tails.
+		v := (rng.Float64()*1.3 - 0.1) * metricHi[metric]
+		cols.add(svc, metric, v)
+		row := svc*nMetrics + metric
+		ref[row] = append(ref[row], v)
+		scalar[row].add(v)
+	}
+	for svc := 0; svc < nsvc; svc++ {
+		for m := 0; m < nMetrics; m++ {
+			row := svc*nMetrics + m
+			if len(ref[row]) == 0 {
+				continue
+			}
+			d := cols.dist(svc, m)
+			mean, std := refMoments(ref[row])
+			if d.Count != int64(len(ref[row])) {
+				t.Fatalf("row %d count %d, want %d", row, d.Count, len(ref[row]))
+			}
+			if math.Abs(d.Mean-mean) > 1e-9*math.Max(1, math.Abs(mean)) {
+				t.Fatalf("row %d mean %v, reference %v", row, d.Mean, mean)
+			}
+			if math.Abs(d.Std-std) > 1e-6*math.Max(1, std) {
+				t.Fatalf("row %d std %v, reference %v", row, d.Std, std)
+			}
+			sd := scalar[row].dist()
+			if d.Mean != sd.Mean || d.Std != sd.Std || d.P10 != sd.P10 || d.P50 != sd.P50 || d.P90 != sd.P90 || d.Under != sd.Under || d.Over != sd.Over {
+				t.Fatalf("row %d columnar dist diverges from scalar accumulators:\ncols:   %+v\nscalar: %+v", row, d, sd)
+			}
+			for i := range d.Counts {
+				if d.Counts[i] != sd.Counts[i] {
+					t.Fatalf("row %d bin %d: %d vs %d", row, i, d.Counts[i], sd.Counts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSvcColsMergeOrderIsDeterministic: the same partition merged the
+// same way twice must agree bit-for-bit, and merging must preserve
+// exact counts while matching a flat fold's moments to float accuracy.
+func TestSvcColsMergeOrderIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nsvc = 2
+	vals := make([]float64, 4000)
+	for i := range vals {
+		vals[i] = rng.Float64() * metricHi[mBitrate]
+	}
+	build := func() *svcCols {
+		parts := make([]*svcCols, 4)
+		for p := range parts {
+			parts[p] = newSvcCols(nsvc)
+			for i := p; i < len(vals); i += 4 {
+				parts[p].add(i%nsvc, mBitrate, vals[i])
+				parts[p].sessions[i%nsvc]++
+				parts[p].started[i%nsvc]++
+			}
+		}
+		out := newSvcCols(nsvc)
+		for _, p := range parts {
+			out.merge(p)
+		}
+		return out
+	}
+	a, b := build(), build()
+	for svc := 0; svc < nsvc; svc++ {
+		da, db := a.dist(svc, mBitrate), b.dist(svc, mBitrate)
+		if da.Mean != db.Mean || da.Std != db.Std || da.Count != db.Count {
+			t.Fatalf("svc %d: identical merge sequences disagree: %+v vs %+v", svc, da, db)
+		}
+		if a.sessions[svc] != b.sessions[svc] || a.started[svc] != b.started[svc] {
+			t.Fatalf("svc %d: session counters diverge", svc)
+		}
+	}
+	flat := newSvcCols(nsvc)
+	for i, v := range vals {
+		flat.add(i%nsvc, mBitrate, v)
+	}
+	for svc := 0; svc < nsvc; svc++ {
+		da, df := a.dist(svc, mBitrate), flat.dist(svc, mBitrate)
+		if da.Count != df.Count {
+			t.Fatalf("svc %d: merged count %d != flat %d", svc, da.Count, df.Count)
+		}
+		if math.Abs(da.Mean-df.Mean) > 1e-9 || math.Abs(da.Std-df.Std) > 1e-9 {
+			t.Fatalf("svc %d: merged moments (%v, %v) drifted from flat fold (%v, %v)", svc, da.Mean, da.Std, df.Mean, df.Std)
+		}
+		for i := range da.Counts {
+			if da.Counts[i] != df.Counts[i] {
+				t.Fatalf("svc %d bin %d: merged %d != flat %d", svc, i, da.Counts[i], df.Counts[i])
+			}
+		}
+	}
+}
+
+// TestQuantileWalk pins the integer-walk quantile semantics on a known
+// histogram: bins resolve to their upper edge, under to lo, over to hi.
+func TestQuantileWalk(t *testing.T) {
+	h := newHist(0, 10, 10)
+	for i := 0; i < 9; i++ {
+		h.add(float64(i) + 0.5) // one sample per bin 0..8
+	}
+	h.add(-1) // under
+	h.add(99) // over
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("tails under=%d over=%d", h.Under, h.Over)
+	}
+	if q := quantileWalk(50, h.Lo, h.Hi, h.Counts, h.Under, h.Over); q != 5 {
+		t.Fatalf("p50 = %v, want 5 (upper edge of the 6th of 11 ordered samples)", q)
+	}
+	if q := quantileWalk(1, h.Lo, h.Hi, h.Counts, h.Under, h.Over); q != 0 {
+		t.Fatalf("p1 = %v, want lo for the under tail", q)
+	}
+	if q := quantileWalk(100, h.Lo, h.Hi, h.Counts, h.Under, h.Over); q != 10 {
+		t.Fatalf("p100 = %v, want hi for the over tail", q)
+	}
+	if q := quantileWalk(50, 0, 1, []int64{0, 0}, 0, 0); q != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", q)
+	}
+}
+
+// TestJain pins the fairness index endpoints.
+func TestJain(t *testing.T) {
+	if j := jain([]float64{5, 5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: jain %v, want 1", j)
+	}
+	if j := jain([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("one taker of four: jain %v, want 0.25", j)
+	}
+	if j := jain([]float64{0, 0}); j != 1 {
+		t.Fatalf("all-zero shares: jain %v, want 1", j)
+	}
+}

@@ -11,20 +11,33 @@
 // (simnet.AccessLink), so the achieved rate is min(access budget, fair
 // edge share).
 //
-// Cells are mutually independent, so they fan out across the
-// process-wide scheduler (internal/sched, shared with the experiment
-// engine). Determinism contract: the whole workload is drawn
-// single-threaded from one seeded generator before any cell runs, each
-// cell simulation is single-threaded, and cell aggregates are folded
-// into the fleet report in strict cell-index order — so the JSON report
-// is byte-identical for a given seed regardless of the worker count.
+// Determinism contract (schema 2): every cell draws its own members
+// from a private RNG stream derived from the fleet seed and the cell
+// index (splitmix64), so a cell's bytes are a pure function of (config,
+// cell index) — computable on any worker, in any order. Cells are
+// grouped into fixed-size shards (cellsPerShard, a constant — NOT
+// derived from the worker count) executed by the work-stealing
+// scheduler layer (sched.RunStealing); each shard folds its cells in
+// strict cell-index order, and completed shards fold into the fleet
+// aggregate in strict shard-index order. The floating-point merge
+// sequence is therefore a function of the cell count alone: the JSON
+// report is byte-identical for any worker count and any steal schedule.
 //
-// Memory contract: per-session player.Results are never retained. Each
-// cell folds every session into fixed-size streaming aggregates
-// (fixed-bin histograms plus online mean/variance, see agg.go) the
-// moment the session finishes, via the Group observer; cells are
-// processed in bounded batches, so peak memory is O(workers · cell
-// aggregate), independent of the session count.
+// Memory contract: per-session player.Results are never retained for
+// the population. Non-focal full-fidelity sessions run lean — the
+// player allocates no Result at all and streams an online Summary —
+// and background-tier sessions are coarse analytic flows; both fold
+// into fixed-size columnar aggregates (agg.go) the moment they finish.
+// Full Results exist only for the seeded focus sample (FocusSessions
+// members), so peak memory is O(workers · cell) + O(focus), independent
+// of the fleet size.
+//
+// Fidelity contract: FidelityFull sets the per-client probability of
+// running the full player state machine; the rest run the background
+// tier (player.Background) — an analytically-stepped session model that
+// still moves every byte through the same water-filling network, so
+// coarse and full sessions shape each other. The mix is drawn per
+// client inside the cell's RNG stream.
 package fleet
 
 import (
@@ -34,7 +47,6 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/expcache"
 	"repro/internal/netem"
@@ -51,10 +63,18 @@ import (
 // core count.
 var sched = schedpkg.Global
 
+// cellsPerShard fixes the shard granularity. It is a constant on
+// purpose: deriving it from the worker count would make the shard fold
+// tree — and the report's floats — depend on parallelism. 16 cells
+// (~384 sessions at the default cell size) is coarse enough to amortize
+// steal traffic and fine enough to keep 8 workers busy on small fleets.
+const cellsPerShard = 16
+
 // Config parameterises a fleet run. Every field is plain data, so the
 // whole config is fingerprintable (expcache) and a normalized config
-// fully determines the report bytes. The worker count is deliberately
-// NOT part of the config: it must never influence the output.
+// fully determines the report bytes. The worker count and steal
+// schedule are deliberately NOT part of the config: they must never
+// influence the output.
 type Config struct {
 	// Seed drives every random draw of the workload model.
 	Seed int64
@@ -79,6 +99,16 @@ type Config struct {
 	ClientsPerCell int
 	// EdgeMbps is the shared edge budget per cell in Mbit/s. Default 40.
 	EdgeMbps float64
+	// FidelityFull is the probability a client runs the full player
+	// state machine; the rest run the coarse background tier. Zero
+	// selects the default 1 (all full fidelity); negative means 0 (all
+	// background).
+	FidelityFull float64
+	// FocusSessions is how many population members keep their full
+	// player.Result and appear in the report's focus section. Focus
+	// members are drawn from the seed; members that land on the
+	// background tier are skipped. Default 0.
+	FocusSessions int
 	// Services is the session mix: each session draws uniformly from
 	// this list (paper names, e.g. "H1"; duplicates weight the mix).
 	// Empty means all 12 service models.
@@ -114,6 +144,17 @@ func (c Config) Normalized() (Config, error) {
 	if c.EdgeMbps <= 0 {
 		c.EdgeMbps = 40
 	}
+	switch {
+	case c.FidelityFull == 0:
+		c.FidelityFull = 1
+	case c.FidelityFull < 0:
+		c.FidelityFull = 0
+	case c.FidelityFull > 1:
+		c.FidelityFull = 1
+	}
+	if c.FocusSessions < 0 {
+		c.FocusSessions = 0
+	}
 	if len(c.Services) == 0 {
 		all := services.All()
 		names := make([]string, len(all))
@@ -142,20 +183,58 @@ type Client struct {
 	Service int
 	// Trace is the cellular access profile, 1..netem.CellularCount.
 	Trace int
+	// Full selects the simulation tier: the full player state machine
+	// when true, the coarse background tier when false.
+	Full bool
 }
 
-// Workload draws the full population from the seed: arrivals (sorted
-// uniforms over the window), then per-client service, access trace and
-// watch duration. Single-threaded on purpose — the draw order is part
-// of the determinism contract. The config must be normalized.
-func Workload(cfg Config) []Client {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	arrivals := make([]float64, cfg.Sessions)
+// splitmix64 is the SplitMix64 finalizer — the standard cheap way to
+// derive decorrelated per-stream seeds from one master seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// cellSeed derives cell k's private RNG stream from the fleet seed.
+// The double mix keeps adjacent cells (and adjacent seeds) statistically
+// independent.
+func cellSeed(seed int64, cell int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(cell)))
+}
+
+// cellCount returns the number of cells for a normalized config.
+func cellCount(cfg Config) int {
+	return (cfg.Sessions + cfg.ClientsPerCell - 1) / cfg.ClientsPerCell
+}
+
+// cellSize returns cell k's member count: sessions are dealt round-robin
+// across cells, so cell k holds the indices ≡ k (mod nCells).
+func cellSize(cfg Config, k int) int {
+	n := cellCount(cfg)
+	if k < 0 || k >= n {
+		return 0
+	}
+	return (cfg.Sessions - k + n - 1) / n
+}
+
+// CellClients draws cell k's members from the cell's private RNG
+// stream. The draw order — arrivals first (sorted within the cell),
+// then per client watch, service, trace and fidelity — is part of the
+// determinism contract: a stolen cell computes identical members on any
+// worker. The config must be normalized.
+func CellClients(cfg Config, k int) []Client {
+	n := cellSize(cfg, k)
+	rng := rand.New(rand.NewSource(cellSeed(cfg.Seed, k)))
+	arrivals := make([]float64, n)
 	for i := range arrivals {
 		arrivals[i] = rng.Float64() * cfg.ArrivalWindowSec
 	}
+	// Sorted within the cell: each cell sees a stationary arrival
+	// process over the whole window.
 	sort.Float64s(arrivals)
-	clients := make([]Client, cfg.Sessions)
+	clients := make([]Client, n)
 	for i := range clients {
 		watch := cfg.WatchSec
 		if rng.Float64() < cfg.AbandonProb {
@@ -166,75 +245,180 @@ func Workload(cfg Config) []Client {
 			Watch:   watch,
 			Service: rng.Intn(len(cfg.Services)),
 			Trace:   1 + rng.Intn(netem.CellularCount),
+			Full:    rng.Float64() < cfg.FidelityFull,
 		}
 	}
 	return clients
 }
 
-// Run executes the fleet and reduces it to a population Report. workers
-// bounds the cell fan-out (0 or negative = scheduler capacity); the
-// effective parallelism is additionally bounded by the process-wide
-// scheduler, and the report bytes never depend on it.
+// Workload materializes the full population: the concatenation of every
+// cell's draw, in cell order. It exists for inspection and tests — Run
+// never builds it, each shard draws only its own cells. The config must
+// be normalized.
+func Workload(cfg Config) []Client {
+	clients := make([]Client, 0, cfg.Sessions)
+	for k := 0; k < cellCount(cfg); k++ {
+		clients = append(clients, CellClients(cfg, k)...)
+	}
+	return clients
+}
+
+// focusPlan draws the seeded focus sample: FocusSessions distinct
+// (cell, member) coordinates from a dedicated RNG stream. Returns
+// member indices per cell, sorted. Selection depends only on the
+// normalized config.
+func focusPlan(cfg Config) map[int][]int {
+	if cfg.FocusSessions == 0 {
+		return nil
+	}
+	nCells := cellCount(cfg)
+	rng := rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed) ^ 0xf0c05a3b1e5d7c29))))
+	want := cfg.FocusSessions
+	if want > cfg.Sessions {
+		want = cfg.Sessions
+	}
+	type coord struct{ cell, member int }
+	chosen := make(map[coord]bool, want)
+	// Rejection sampling with a generous attempt budget: for the
+	// intended regime (focus ≪ sessions) collisions are rare; the cap
+	// keeps pathological configs (focus ≈ sessions) from spinning.
+	for attempts := 0; len(chosen) < want && attempts < 64*want+1024; attempts++ {
+		cell := rng.Intn(nCells)
+		chosen[coord{cell, rng.Intn(cellSize(cfg, cell))}] = true
+	}
+	plan := make(map[int][]int, len(chosen))
+	for c := range chosen {
+		plan[c.cell] = append(plan[c.cell], c.member)
+	}
+	for _, members := range plan {
+		sort.Ints(members)
+	}
+	return plan
+}
+
+// RunOptions tunes execution without touching the output: the report
+// bytes are identical for every combination.
+type RunOptions struct {
+	// Workers bounds the shard fan-out (0 or negative = scheduler
+	// capacity); effective parallelism is additionally bounded by the
+	// process-wide scheduler.
+	Workers int
+	// Steal forces a degenerate steal schedule (all shards seeded into
+	// one deque, or stealing disabled) — determinism tests use it to
+	// pin both extremes.
+	Steal schedpkg.StealOptions
+}
+
+// Run executes the fleet and reduces it to a population Report.
 func Run(ctx context.Context, cfg Config, workers int) (*Report, error) {
+	return RunWithOptions(ctx, cfg, RunOptions{Workers: workers})
+}
+
+// RunWithOptions is Run with an explicit execution schedule.
+func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Report, error) {
 	cfg, err := cfg.Normalized()
 	if err != nil {
 		return nil, err
 	}
 	svcs := make([]*services.Service, len(cfg.Services))
 	origins := make([]*origin.Origin, len(cfg.Services))
+	bgTemplates := make([]player.BackgroundConfig, len(cfg.Services))
 	for i, name := range cfg.Services {
 		svcs[i] = services.ByName(name)
 		if origins[i], err = expcache.Origin(svcs[i]); err != nil {
 			return nil, fmt.Errorf("fleet: origin for %s: %w", name, err)
 		}
+		bgTemplates[i] = backgroundTemplate(origins[i])
 	}
 	traces := netem.CellularSet()
-	clients := Workload(cfg)
 
-	nCells := (cfg.Sessions + cfg.ClientsPerCell - 1) / cfg.ClientsPerCell
-	cells := make([][]Client, nCells)
-	// Round-robin over arrival-sorted clients: every cell sees arrivals
-	// spread across the whole window (a stationary load), instead of one
-	// cell absorbing a burst of simultaneous joins.
-	for i, c := range clients {
-		cells[i%nCells] = append(cells[i%nCells], c)
-	}
+	nCells := cellCount(cfg)
+	nShards := (nCells + cellsPerShard - 1) / cellsPerShard
+	focus := focusPlan(cfg)
 
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = sched.Capacity()
 	}
-	agg := newFleetAgg(len(svcs))
-	// Bounded batches: cells fan out within a batch, and batches fold in
-	// strict cell order, so peak memory is O(batch) cell aggregates while
-	// the merge sequence — and with it every float in the report — is
-	// identical for any worker count (batch boundaries only group the
-	// same in-order merges).
-	batch := 2 * workers
-	if batch < 8 {
-		batch = 8
-	}
-	for lo := 0; lo < nCells; lo += batch {
-		hi := lo + batch
+
+	// Shards execute under the work-stealing layer; an idle worker
+	// steals half of the fullest victim's remaining shards. Completed
+	// shard aggregates park in `pending` and fold into the fleet
+	// aggregate as an in-order prefix: whenever the next shard in index
+	// order is available it is merged and released, so out-of-order
+	// completions are buffered only across the reorder window — peak
+	// memory stays O(workers) shard aggregates in the common case — and
+	// the merge sequence is the same for every schedule.
+	fleet := newFleetAgg(len(svcs))
+	var (
+		mu       sync.Mutex
+		pending  = make([]*fleetAgg, nShards)
+		foldNext int
+		focusOut []FocusSession
+	)
+	_, err = sched.RunStealing(ctx, nShards, workers, opts.Steal, func(sh int) error {
+		shardAgg := newFleetAgg(len(svcs))
+		var shardFocus []FocusSession
+		lo, hi := sh*cellsPerShard, (sh+1)*cellsPerShard
 		if hi > nCells {
 			hi = nCells
 		}
-		outs := make([]*cellAgg, hi-lo)
-		err := forEach(ctx, hi-lo, workers, func(k int) error {
-			ca, err := runCell(cfg, svcs, origins, traces, cells[lo+k])
+		for c := lo; c < hi; c++ {
+			ca, fs, err := runCell(cfg, svcs, origins, bgTemplates, traces, c, focus[c])
 			if err != nil {
 				return err
 			}
-			outs[k] = ca
-			return nil
-		})
-		if err != nil {
-			return nil, err
+			shardAgg.merge(ca)
+			shardFocus = append(shardFocus, fs...)
 		}
-		for _, ca := range outs {
-			agg.merge(ca)
+		mu.Lock()
+		pending[sh] = shardAgg
+		for foldNext < nShards && pending[foldNext] != nil {
+			fleet.mergeFleet(pending[foldNext])
+			pending[foldNext] = nil
+			foldNext++
 		}
+		focusOut = append(focusOut, shardFocus...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return agg.report(cfg, nCells), nil
+	// Focus entries arrive in completion order; sort by coordinates so
+	// the report bytes don't depend on the schedule.
+	sort.Slice(focusOut, func(i, j int) bool {
+		if focusOut[i].Cell != focusOut[j].Cell {
+			return focusOut[i].Cell < focusOut[j].Cell
+		}
+		return focusOut[i].Member < focusOut[j].Member
+	})
+	return fleet.report(cfg, nCells, focusOut), nil
+}
+
+// bgSafetyFactor calibrates the background tier's rung selection to the
+// full player population. The coarse tier's EWMA sees only its own
+// transfer rates (its fair share), while the full player's estimator
+// reads network-wide delivery and therefore over-buys under contention;
+// a factor above 1 compensates for that bias. 1.6 was fitted against
+// full-fidelity runs across contention levels (TestFidelityDifferential
+// pins the residual deltas).
+const bgSafetyFactor = 1.6
+
+// backgroundTemplate derives the coarse tier's view of a service — the
+// declared ladder and segment grid — from its origin presentation.
+func backgroundTemplate(org *origin.Origin) player.BackgroundConfig {
+	pres := org.Pres
+	declared := make([]float64, len(pres.Video))
+	for i, r := range pres.Video {
+		declared[i] = r.DeclaredBitrate
+	}
+	return player.BackgroundConfig{
+		Declared:        declared,
+		SegmentDuration: pres.Video[0].SegmentDuration,
+		MediaDuration:   pres.Duration,
+		SafetyFactor:    bgSafetyFactor,
+	}
 }
 
 // memo caches fleet reports by config fingerprint for the lifetime of
@@ -260,77 +444,21 @@ func RunCached(ctx context.Context, cfg Config, workers int) (*Report, error) {
 	})
 }
 
-// forEach fans fn out over indices 0..n-1 with at most `workers`
-// concurrent executions, each helper gated by a non-blocking slot from
-// the process-wide scheduler (the caller works inline under its own
-// slot, so nested fan-out cannot deadlock — same contract as the
-// experiment engine's sweep). The smallest-index error wins; cancelling
-// ctx stops new indices.
-func forEach(ctx context.Context, n, workers int, fn func(int) error) error {
-	if n == 0 {
-		return ctx.Err()
-	}
-	parent := ctx
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		next     atomic.Int64
-		errMu    sync.Mutex
-		errIdx   = n
-		firstErr error
-	)
-	record := func(i int, err error) {
-		errMu.Lock()
-		if i < errIdx {
-			errIdx, firstErr = i, err
-		}
-		errMu.Unlock()
-		cancel()
-	}
-	work := func() {
-		for ctx.Err() == nil {
-			i := int(next.Add(1)) - 1
-			if i >= n {
-				return
-			}
-			if err := fn(i); err != nil {
-				record(i, err)
-				return
-			}
-		}
-	}
-
-	var wg sync.WaitGroup
-	spawn := workers - 1
-	if spawn > n-1 {
-		spawn = n - 1
-	}
-	for s := 0; s < spawn && sched.TryAcquire(); s++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer sched.Release()
-			work()
-		}()
-	}
-	work()
-	wg.Wait()
-
-	errMu.Lock()
-	err := firstErr
-	errMu.Unlock()
-	if err != nil {
-		return err
-	}
-	return parent.Err()
+// sessMeta ties a finished session back to its population coordinates.
+type sessMeta struct {
+	client Client
+	member int
 }
 
 // runCell simulates one cell: every member session over one shared edge
 // link, each behind its own cellular access link, folded into the
-// cell's streaming aggregates as it finishes. The cell is strictly
-// single-threaded and deterministic.
-func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, traces []*netem.Profile, members []Client) (*cellAgg, error) {
+// cell's streaming aggregates as it finishes. Full-fidelity members run
+// the player state machine — lean (no Result) unless selected as focus
+// members — and background members run the coarse analytic tier over
+// the same network. The cell is strictly single-threaded and
+// deterministic given (cfg, cellIdx).
+func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgTemplates []player.BackgroundConfig, traces []*netem.Profile, cellIdx int, focusMembers []int) (*cellAgg, []FocusSession, error) {
+	members := CellClients(cfg, cellIdx)
 	horizon := 0.0
 	for _, m := range members {
 		if e := m.Arrival + m.Watch; e > horizon {
@@ -341,26 +469,85 @@ func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, tra
 	net := simnet.New(simnet.DefaultConfig(), edge)
 
 	agg := newCellAgg(len(svcs))
-	meta := make(map[*player.Session]Client, len(members))
+	var focusOut []FocusSession
+	meta := make(map[*player.Session]sessMeta, len(members))
+	bgMeta := make(map[*player.Background]int)
 	g := player.NewGroup()
 	g.SetObserver(func(s *player.Session, r *player.Result) {
-		agg.observe(meta[s].Service, qoe.FromResult(r))
+		sm := meta[s]
+		agg.observe(sm.client.Service, qoe.FromSummary(s.Summary()))
+		if r != nil { // focus member: keep the full record
+			focusOut = append(focusOut, buildFocus(cfg, cellIdx, sm, r))
+		}
 	})
-	for _, m := range members {
+	g.SetBackgroundObserver(func(b *player.Background) {
+		agg.observe(bgMeta[b], qoe.FromSummary(b.Summary()))
+	})
+	isFocus := make(map[int]bool, len(focusMembers))
+	for _, m := range focusMembers {
+		isFocus[m] = true
+	}
+	for i, m := range members {
+		if !m.Full {
+			bcfg := bgTemplates[m.Service]
+			bcfg.SessionDuration = m.Watch
+			b := player.NewBackground(bcfg, net)
+			b.SetStartAt(m.Arrival)
+			b.SetAccessLink(net.NewAccessLink(traces[m.Trace-1]))
+			if err := g.AddBackground(b); err != nil {
+				return nil, nil, err
+			}
+			bgMeta[b] = m.Service
+			agg.background++
+			continue
+		}
 		svc := svcs[m.Service]
 		pcfg := services.Resolve(svc.Player, m.Watch, nil)
 		sess, err := player.NewSession(pcfg, origins[m.Service], net)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: %s session: %w", svc.Name, err)
+			return nil, nil, fmt.Errorf("fleet: %s session: %w", svc.Name, err)
+		}
+		if !isFocus[i] {
+			sess.SetLean()
 		}
 		sess.SetStartAt(m.Arrival)
 		sess.SetAccessLink(net.NewAccessLink(traces[m.Trace-1]))
 		if err := g.Add(sess); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		meta[sess] = m
+		meta[sess] = sessMeta{client: m, member: i}
+		agg.full++
 	}
 	g.Run()
 	agg.finishCell(net.Delivered(), edge.Integral(0, net.Now()))
-	return agg, nil
+	return agg, focusOut, nil
+}
+
+// buildFocus condenses a focus member's full Result into the report's
+// focus record: per-session QoE plus the displayed-track and buffer
+// timelines.
+func buildFocus(cfg Config, cell int, sm sessMeta, r *player.Result) FocusSession {
+	rep := qoe.FromResult(r)
+	fs := FocusSession{
+		Cell:            cell,
+		Member:          sm.member,
+		Service:         cfg.Services[sm.client.Service],
+		Trace:           sm.client.Trace,
+		ArrivalSec:      sm.client.Arrival,
+		WatchSec:        sm.client.Watch,
+		StartupDelaySec: rep.StartupDelay,
+		StallCount:      rep.StallCount,
+		StallSec:        rep.StallSec,
+		PlayedSec:       rep.PlayedSec,
+		AvgBitrateMbps:  rep.AvgBitrate / 1e6,
+		Switches:        rep.Switches,
+		TotalBytes:      rep.DataUsageBytes,
+		WastedBytes:     rep.WastedBytes,
+		Displayed:       append([]int(nil), r.Displayed...),
+	}
+	fs.Buffer = make([]FocusSample, len(r.Samples))
+	for i, s := range r.Samples {
+		fs.Buffer[i] = FocusSample{T: s.T, Playhead: s.Playhead, BufferSec: s.VideoSec}
+	}
+	return fs
 }

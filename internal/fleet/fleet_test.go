@@ -3,6 +3,7 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"math"
 	"runtime"
 	"testing"
 
@@ -33,21 +34,43 @@ func TestWorkloadDeterminism(t *testing.T) {
 			t.Fatalf("client %d differs between identical draws: %+v vs %+v", i, a[i], b[i])
 		}
 	}
-	prev := 0.0
-	for i, c := range a {
-		if c.Arrival < prev {
-			t.Fatalf("arrivals not sorted at %d", i)
+	// Workload is the concatenation of per-cell streams; arrivals are
+	// sorted within each cell, and each cell's draw must be computable
+	// standalone (the work-stealing contract: a stolen cell redraws its
+	// members identically anywhere).
+	nCells := cellCount(cfg)
+	off := 0
+	for k := 0; k < nCells; k++ {
+		cell := CellClients(cfg, k)
+		if len(cell) != cellSize(cfg, k) {
+			t.Fatalf("cell %d drew %d members, sized %d", k, len(cell), cellSize(cfg, k))
 		}
-		prev = c.Arrival
-		if c.Arrival >= cfg.ArrivalWindowSec {
-			t.Fatalf("client %d arrival %.1f outside window", i, c.Arrival)
+		prev := 0.0
+		for i, c := range cell {
+			if a[off+i] != c {
+				t.Fatalf("cell %d member %d: standalone draw %+v != workload %+v", k, i, c, a[off+i])
+			}
+			if c.Arrival < prev {
+				t.Fatalf("cell %d arrivals not sorted at member %d", k, i)
+			}
+			prev = c.Arrival
+			if c.Arrival >= cfg.ArrivalWindowSec {
+				t.Fatalf("cell %d member %d arrival %.1f outside window", k, i, c.Arrival)
+			}
+			if c.Watch < 5 || c.Watch > cfg.WatchSec {
+				t.Fatalf("cell %d member %d watch %.1f outside [5, %.0f]", k, i, c.Watch, cfg.WatchSec)
+			}
+			if c.Service < 0 || c.Service >= len(cfg.Services) || c.Trace < 1 || c.Trace > 14 {
+				t.Fatalf("cell %d member %d out-of-range draw: %+v", k, i, c)
+			}
+			if !c.Full {
+				t.Fatalf("cell %d member %d drew background at FidelityFull=1", k, i)
+			}
 		}
-		if c.Watch < 5 || c.Watch > cfg.WatchSec {
-			t.Fatalf("client %d watch %.1f outside [5, %.0f]", i, c.Watch, cfg.WatchSec)
-		}
-		if c.Service < 0 || c.Service >= len(cfg.Services) || c.Trace < 1 || c.Trace > 14 {
-			t.Fatalf("client %d out-of-range draw: %+v", i, c)
-		}
+		off += len(cell)
+	}
+	if off != len(a) {
+		t.Fatalf("cells cover %d of %d clients", off, len(a))
 	}
 	cfg2 := cfg
 	cfg2.Seed = 4
@@ -64,32 +87,87 @@ func TestWorkloadDeterminism(t *testing.T) {
 	}
 }
 
-// TestRunWorkersDeterminism is the seed-sensitivity regression test the
-// fleet's whole design serves: the JSON report must be byte-identical
-// between a serial run and a concurrent run on the same seed.
+// TestWorkloadFidelityMix checks the fidelity draw tracks the configured
+// probability and stays inside each cell's private stream.
+func TestWorkloadFidelityMix(t *testing.T) {
+	cfg, err := Config{Seed: 9, Sessions: 2000, FidelityFull: 0.25}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 0
+	for _, c := range Workload(cfg) {
+		if c.Full {
+			full++
+		}
+	}
+	frac := float64(full) / float64(cfg.Sessions)
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("full-fidelity fraction %.3f far from configured 0.25", frac)
+	}
+	cfg.FidelityFull = -1 // re-normalizes to 0: all background
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range Workload(ncfg) {
+		if c.Full {
+			t.Fatalf("client %d drew full fidelity at FidelityFull=0", i)
+		}
+	}
+}
+
+// fleetBytes runs a config and returns the report JSON.
+func fleetBytes(t *testing.T, cfg Config, opts RunOptions) []byte {
+	t.Helper()
+	rep, err := RunWithOptions(context.Background(), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// stealCfg spans several shards (cellsPerShard=16) with tiny cells so
+// the steal-schedule tests actually exercise cross-shard folding.
+var stealCfg = Config{
+	Seed: 5, Sessions: 160, ArrivalWindowSec: 120, WatchSec: 30,
+	ClientsPerCell: 2, FidelityFull: 0.6, FocusSessions: 4,
+	Services: []string{"H1", "D2", "S1"},
+}
+
+// TestRunWorkersDeterminism is the regression test the fleet's whole
+// design serves: the JSON report must be byte-identical between a
+// serial run and a concurrent run on the same seed.
 func TestRunWorkersDeterminism(t *testing.T) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
 	withSched(t, 8)
-	cfg := Config{Seed: 5, Sessions: 120, ArrivalWindowSec: 120, WatchSec: 45, ClientsPerCell: 10, Services: []string{"H1", "D2", "S1"}}
+	serial := fleetBytes(t, stealCfg, RunOptions{Workers: 1})
+	parallel := fleetBytes(t, stealCfg, RunOptions{Workers: 8})
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("report bytes differ between workers=1 (%d B) and workers=8 (%d B)", len(serial), len(parallel))
+	}
+}
 
-	serial, err := Run(context.Background(), cfg, 1)
-	if err != nil {
-		t.Fatal(err)
+// TestStealScheduleDeterminism pins the two extreme schedules: all
+// shards seeded into one worker's deque (steal-heavy — every other
+// worker must steal to get work) versus stealing disabled (static
+// partitions). The report bytes must be identical to each other and to
+// the default schedule. Run under -race this also exercises the steal
+// layer's synchronization against concurrent shard folds.
+func TestStealScheduleDeterminism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	withSched(t, 8)
+	base := fleetBytes(t, stealCfg, RunOptions{Workers: 4})
+	hog := fleetBytes(t, stealCfg, RunOptions{Workers: 4, Steal: schedpkg.StealOptions{Hog: true}})
+	noSteal := fleetBytes(t, stealCfg, RunOptions{Workers: 4, Steal: schedpkg.StealOptions{DisableSteal: true}})
+	if !bytes.Equal(base, hog) {
+		t.Fatalf("steal-heavy schedule changed the report bytes (%d B vs %d B)", len(base), len(hog))
 	}
-	parallel, err := Run(context.Background(), cfg, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sb, err := serial.JSON()
-	if err != nil {
-		t.Fatal(err)
-	}
-	pb, err := parallel.JSON()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(sb, pb) {
-		t.Fatalf("report bytes differ between workers=1 (%d B) and workers=8 (%d B)", len(sb), len(pb))
+	if !bytes.Equal(base, noSteal) {
+		t.Fatalf("steal-free schedule changed the report bytes (%d B vs %d B)", len(base), len(noSteal))
 	}
 }
 
@@ -136,10 +214,128 @@ func TestSharedEdgeCoupling(t *testing.T) {
 	}
 }
 
+// TestFidelityDifferential pins the background tier against full
+// sessions: across seeds and contention levels, the coarse model's
+// population aggregates must track the full simulation within stated
+// tolerances — close enough that a mixed-fidelity fleet reports the
+// same macro story, while costing a fraction of the work.
+func TestFidelityDifferential(t *testing.T) {
+	type level struct {
+		edgeMbps float64
+		// bitrate ratio bounds (background mean / full mean) and stall
+		// ratio absolute delta bound, averaged over the seeds.
+		rLo, rHi, stallTol float64
+	}
+	// Tolerances are empirical for the calibrated tier (bgSafetyFactor):
+	// the background model shares the ladder and buffer gates with the
+	// full player but has no pipeline, no replacement and a private EWMA
+	// estimator (the full player reads network-wide delivery), so it
+	// stays somewhat conservative under load even after calibration.
+	levels := []level{
+		{edgeMbps: 40, rLo: 0.70, rHi: 1.30, stallTol: 0.08},
+		{edgeMbps: 8, rLo: 0.50, rHi: 1.40, stallTol: 0.12},
+		{edgeMbps: 3, rLo: 0.45, rHi: 1.50, stallTol: 0.12},
+	}
+	for _, lv := range levels {
+		var fullBr, bgBr, fullStall, bgStall float64
+		seeds := []int64{1, 2, 3, 4, 5}
+		for _, seed := range seeds {
+			base := Config{
+				Seed: seed, Sessions: 96, ArrivalWindowSec: 60, WatchSec: 60,
+				ClientsPerCell: 8, EdgeMbps: lv.edgeMbps, Services: []string{"H1"},
+			}
+			full := base
+			bg := base
+			bg.FidelityFull = -1 // all background
+			fr, err := Run(context.Background(), full, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			br, err := Run(context.Background(), bg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.BackgroundSessions != 0 || br.FullSessions != 0 {
+				t.Fatalf("tier accounting wrong: full run bg=%d, bg run full=%d", fr.BackgroundSessions, br.FullSessions)
+			}
+			fullBr += fr.Services[0].BitrateMbps.Mean
+			bgBr += br.Services[0].BitrateMbps.Mean
+			fullStall += fr.Services[0].StallRatio.Mean
+			bgStall += br.Services[0].StallRatio.Mean
+		}
+		n := float64(len(seeds))
+		fullBr, bgBr, fullStall, bgStall = fullBr/n, bgBr/n, fullStall/n, bgStall/n
+		if fullBr <= 0 {
+			t.Fatalf("edge %.0f: degenerate full-fidelity bitrate %.3f", lv.edgeMbps, fullBr)
+		}
+		if ratio := bgBr / fullBr; ratio < lv.rLo || ratio > lv.rHi {
+			t.Errorf("edge %.0f Mbit/s: background bitrate mean %.3f vs full %.3f (ratio %.2f outside [%.2f, %.2f])",
+				lv.edgeMbps, bgBr, fullBr, ratio, lv.rLo, lv.rHi)
+		}
+		if d := math.Abs(bgStall - fullStall); d > lv.stallTol {
+			t.Errorf("edge %.0f Mbit/s: stall ratio delta %.3f (background %.3f, full %.3f) exceeds %.3f",
+				lv.edgeMbps, d, bgStall, fullStall, lv.stallTol)
+		}
+	}
+}
+
+// TestFocusInvariance: the focus sample must be a pure annex — at full
+// fidelity, requesting focus sessions changes the focus section and
+// nothing else, byte for byte.
+func TestFocusInvariance(t *testing.T) {
+	cfg := Config{Seed: 7, Sessions: 96, ArrivalWindowSec: 60, WatchSec: 40, ClientsPerCell: 8, Services: []string{"H1", "D2"}}
+	plain, err := Run(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgF := cfg
+	cfgF.FocusSessions = 8
+	focused, err := Run(context.Background(), cfgF, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Focus) != 0 {
+		t.Fatalf("focus section present without FocusSessions: %d entries", len(plain.Focus))
+	}
+	if len(focused.Focus) == 0 || len(focused.Focus) > 8 {
+		t.Fatalf("got %d focus entries, want 1..8", len(focused.Focus))
+	}
+	for i, f := range focused.Focus {
+		if i > 0 {
+			p := focused.Focus[i-1]
+			if f.Cell < p.Cell || (f.Cell == p.Cell && f.Member <= p.Member) {
+				t.Fatalf("focus entries out of order at %d: (%d,%d) after (%d,%d)", i, f.Cell, f.Member, p.Cell, p.Member)
+			}
+		}
+		if f.Cell < 0 || f.Cell >= focused.Cells || f.Member < 0 || f.Member >= cellSize(cfgF, f.Cell) {
+			t.Fatalf("focus entry %d has out-of-range coordinates: %+v", i, f)
+		}
+		if f.Service == "" || f.WatchSec <= 0 || len(f.Displayed) == 0 {
+			t.Fatalf("focus entry %d incomplete: %+v", i, f)
+		}
+	}
+	// Strip the annex; everything else must match byte for byte (the
+	// config echo differs only in the FocusSessions field, masked too).
+	focused.Focus = nil
+	focused.Config.FocusSessions = 0
+	a, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := focused.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("focus sampling perturbed the population sections")
+	}
+}
+
 // TestReportAccounting checks the streaming aggregation preserves
-// session counts exactly: nothing dropped, nothing double-counted.
+// session counts exactly: nothing dropped, nothing double-counted —
+// including the fidelity-tier split.
 func TestReportAccounting(t *testing.T) {
-	cfg := Config{Seed: 2, Sessions: 90, ArrivalWindowSec: 90, WatchSec: 30, ClientsPerCell: 12, Services: []string{"H1", "H4"}}
+	cfg := Config{Seed: 2, Sessions: 90, ArrivalWindowSec: 90, WatchSec: 30, ClientsPerCell: 12, FidelityFull: 0.5, Services: []string{"H1", "H4"}}
 	rep, err := Run(context.Background(), cfg, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -161,8 +357,17 @@ func TestReportAccounting(t *testing.T) {
 	if started != rep.Started {
 		t.Fatalf("started accounting: per-service sum %d, report %d", started, rep.Started)
 	}
+	if rep.FullSessions+rep.BackgroundSessions != int64(cfg.Sessions) {
+		t.Fatalf("tier accounting: full %d + background %d != %d", rep.FullSessions, rep.BackgroundSessions, cfg.Sessions)
+	}
+	if rep.FullSessions == 0 || rep.BackgroundSessions == 0 {
+		t.Fatalf("expected a mixed-tier population at FidelityFull=0.5, got full=%d background=%d", rep.FullSessions, rep.BackgroundSessions)
+	}
 	if rep.TotalBytes <= 0 {
 		t.Fatal("no bytes delivered")
+	}
+	if rep.Schema != 2 {
+		t.Fatalf("report schema %d, want 2", rep.Schema)
 	}
 }
 
@@ -195,11 +400,24 @@ func TestConfigValidation(t *testing.T) {
 	if len(n.Services) != 12 || n.AbandonProb != 0.35 {
 		t.Fatalf("defaults not applied: %+v", n)
 	}
-	n2, err := (Config{Sessions: 10, AbandonProb: -1}).Normalized()
+	if n.FidelityFull != 1 || n.FocusSessions != 0 {
+		t.Fatalf("fidelity defaults not applied: %+v", n)
+	}
+	n2, err := (Config{Sessions: 10, AbandonProb: -1, FidelityFull: -1, FocusSessions: -3}).Normalized()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n2.AbandonProb != 0 {
 		t.Fatalf("negative AbandonProb should normalize to 0, got %v", n2.AbandonProb)
+	}
+	if n2.FidelityFull != 0 || n2.FocusSessions != 0 {
+		t.Fatalf("negative fidelity fields should clamp to 0: %+v", n2)
+	}
+	n3, err := (Config{Sessions: 10, FidelityFull: 3}).Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.FidelityFull != 1 {
+		t.Fatalf("FidelityFull should clamp to 1, got %v", n3.FidelityFull)
 	}
 }

@@ -3,6 +3,8 @@ package player
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/simnet"
 )
 
 // Group coordinates several sessions over one shared simulated network —
@@ -11,24 +13,43 @@ import (
 // fleet cell. Sessions start at t=0 unless scheduled later with
 // Session.SetStartAt, and each runs for its own SessionDuration from its
 // start; the fluid network arbitrates their transfers max-min fairly.
+// A cell may also carry Background flows — the coarse analytic session
+// tier — which compete for the same links as full sessions.
 //
 // A single session's Run is the one-member special case of a Group.
 type Group struct {
-	sessions []*Session
-	observer func(*Session, *Result)
+	net         *simnet.Network
+	sessions    []*Session
+	backgrounds []*Background
+	observer    func(*Session, *Result)
+	bgObserver  func(*Background)
 }
 
 // NewGroup creates a coordinator; sessions added to it must share one
 // simnet.Network.
 func NewGroup() *Group { return &Group{} }
 
-// Add registers a session. Every session must have been created over the
+// Add registers a session. Every member must have been created over the
 // same simnet.Network.
 func (g *Group) Add(s *Session) error {
-	if len(g.sessions) > 0 && g.sessions[0].net != s.net {
+	if g.net == nil {
+		g.net = s.net
+	} else if g.net != s.net {
 		return fmt.Errorf("player: all sessions in a group must share one network")
 	}
+	s.ensureResult()
 	g.sessions = append(g.sessions, s)
+	return nil
+}
+
+// AddBackground registers a background flow over the same network.
+func (g *Group) AddBackground(b *Background) error {
+	if g.net == nil {
+		g.net = b.net
+	} else if g.net != b.net {
+		return fmt.Errorf("player: all sessions in a group must share one network")
+	}
+	g.backgrounds = append(g.backgrounds, b)
 	return nil
 }
 
@@ -37,16 +58,21 @@ func (g *Group) Add(s *Session) error {
 // set, Run returns nil and each session's Result is released right
 // after its callback returns — the memory-bounded streaming mode
 // population runs use: the caller folds the Result into its aggregates
-// and must not retain it.
+// and must not retain it. Lean sessions reach the observer with a nil
+// Result; their Summary is the output.
 func (g *Group) SetObserver(fn func(*Session, *Result)) { g.observer = fn }
 
-// Run drives every session to completion and returns their results in
-// the order they were added (nil when an observer is set).
+// SetBackgroundObserver registers fn, called exactly once per background
+// flow as it finishes.
+func (g *Group) SetBackgroundObserver(fn func(*Background)) { g.bgObserver = fn }
+
+// Run drives every member to completion and returns the sessions'
+// results in the order they were added (nil when an observer is set).
 func (g *Group) Run() []*Result {
-	if len(g.sessions) == 0 {
+	if len(g.sessions) == 0 && len(g.backgrounds) == 0 {
 		return nil
 	}
-	net := g.sessions[0].net
+	net := g.net
 	for {
 		now := net.Now()
 		allDone := true
@@ -79,6 +105,31 @@ func (g *Group) Run() []*Result {
 			}
 			inflight += s.inflight
 		}
+		for _, b := range g.backgrounds {
+			if b.done {
+				continue
+			}
+			if now < b.startAt-eps {
+				allDone = false
+				if b.startAt < deadline {
+					deadline = b.startAt
+				}
+				continue
+			}
+			if now >= b.endAt()-eps || b.finished {
+				g.finishBackground(b)
+				continue
+			}
+			allDone = false
+			b.issueRequests()
+			if d := b.nextDeadline(now); d < deadline {
+				deadline = d
+			}
+			if e := b.endAt(); e < deadline {
+				deadline = e
+			}
+			inflight += b.inflight
+		}
 		if allDone {
 			break
 		}
@@ -86,6 +137,11 @@ func (g *Group) Run() []*Result {
 			for _, s := range g.sessions {
 				if !s.done {
 					g.finish(s)
+				}
+			}
+			for _, b := range g.backgrounds {
+				if !b.done {
+					g.finishBackground(b)
 				}
 			}
 			break
@@ -100,12 +156,23 @@ func (g *Group) Run() []*Result {
 				s.advancePlayback(net.Now())
 			}
 		}
-		for _, tr := range completed {
-			m := tr.Meta.(*reqMeta)
-			if m.owner != nil && !m.owner.done {
-				m.owner.onComplete(tr)
+		for _, b := range g.backgrounds {
+			if !b.done {
+				b.advancePlayback(net.Now())
 			}
-			// else: abandoned session; ignore the straggler
+		}
+		for _, tr := range completed {
+			switch m := tr.Meta.(type) {
+			case *reqMeta:
+				if m.owner != nil && !m.owner.done {
+					m.owner.onComplete(tr)
+				}
+				// else: abandoned session; ignore the straggler
+			case *Background:
+				if !m.done {
+					m.onComplete(tr)
+				}
+			}
 			net.Recycle(tr)
 		}
 	}
@@ -130,6 +197,18 @@ func (g *Group) finish(s *Session) {
 	if g.observer != nil {
 		g.observer(s, s.res)
 		s.res = nil
+	}
+}
+
+// finishBackground finalizes a background flow once and notifies its
+// observer.
+func (g *Group) finishBackground(b *Background) {
+	if b.done {
+		return
+	}
+	b.finishRun()
+	if g.bgObserver != nil {
+		g.bgObserver(b)
 	}
 }
 

@@ -73,7 +73,23 @@ type Session struct {
 	segSizeFn   func(track, index int) float64
 	replScratch []replacement.BufferedSegment
 
-	res *Result
+	// Immutable media facts, duplicated out of the Result so lean
+	// sessions (res == nil) can run the full state machine.
+	segCount int
+	segDur   float64
+	declared []float64
+
+	// Online summary accumulation (see summary.go). Always maintained,
+	// whether or not a full Result is kept, in the exact fold order
+	// qoe.FromResult uses so the two agree bit for bit.
+	sum          Summary
+	sumPrevTrack int
+	startupDelay float64
+	totalBytes   float64
+	wastedBytes  float64
+
+	lean bool
+	res  *Result
 }
 
 type docReq struct {
@@ -134,34 +150,15 @@ func NewSession(cfg Config, org *origin.Origin, net *simnet.Network) (*Session, 
 		lastVideoTrack: -1,
 		fetchedDocs:    map[string]bool{},
 	}
-	n := len(s.pres.Video[0].Segments)
-	nAudio := 0
-	if len(s.pres.Audio) > 0 {
-		nAudio = len(s.pres.Audio[0].Segments)
-	}
-	s.res = &Result{
-		Name:               cfg.Name,
-		MediaDuration:      s.pres.Duration,
-		SegmentCount:       n,
-		SegmentDuration:    s.pres.Video[0].SegmentDuration,
-		StartupDelay:       -1,
-		Displayed:          make([]int, n),
-		DisplayedWallStart: make([]float64, n),
-		// Sized for the common full run: one sample per second plus one
-		// download and transaction per segment (growth still works when
-		// replacement or seeks exceed the estimate).
-		Samples:      make([]BufferSample, 0, int(cfg.SessionDuration)+2),
-		Downloads:    make([]Download, 0, n+nAudio+8),
-		Transactions: make([]traffic.Transaction, 0, n+nAudio+16),
-		Declared:     make([]float64, 0, len(s.pres.Video)),
-	}
-	for i := range s.res.Displayed {
-		s.res.Displayed[i] = -1
-		s.res.DisplayedWallStart[i] = -1
-	}
+	s.segCount = len(s.pres.Video[0].Segments)
+	s.segDur = s.pres.Video[0].SegmentDuration
+	s.declared = make([]float64, 0, len(s.pres.Video))
 	for _, r := range s.pres.Video {
-		s.res.Declared = append(s.res.Declared, r.DeclaredBitrate)
+		s.declared = append(s.declared, r.DeclaredBitrate)
 	}
+	s.startupDelay = -1
+	s.sum = Summary{StartupDelay: -1, TimeOnTrack: make([]float64, len(s.declared))}
+	s.sumPrevTrack = -1
 	// The adaptation context inputs that never change over a session are
 	// computed once instead of per segment decision.
 	avgs := make([]float64, 0, len(s.view.Video))
@@ -203,6 +200,49 @@ func (s *Session) SetStartAt(t float64) {
 // given per-client access link (simnet.Network.NewAccessLink); nil
 // keeps the plain shared-link behaviour. Call before the session runs.
 func (s *Session) SetAccessLink(l *simnet.AccessLink) { s.link = l }
+
+// SetLean puts the session in lean mode: no Result is ever allocated —
+// no per-segment display arrays, no download/transaction/event logs, no
+// 1 Hz samples — and the session's only output is the online Summary.
+// The state machine runs identically (every float trajectory, including
+// the 1 Hz sampler ticks, matches the full-fidelity run bit for bit);
+// only the recording is dropped. Call before the session is added to a
+// Group. Population runs use this for every non-focal session.
+func (s *Session) SetLean() { s.lean = true }
+
+// ensureResult allocates the full Result unless the session runs lean.
+// Group.Add calls it on registration, so construction stays cheap for
+// the lean population path.
+func (s *Session) ensureResult() {
+	if s.lean || s.res != nil {
+		return
+	}
+	n := s.segCount
+	nAudio := 0
+	if len(s.pres.Audio) > 0 {
+		nAudio = len(s.pres.Audio[0].Segments)
+	}
+	s.res = &Result{
+		Name:               s.cfg.Name,
+		MediaDuration:      s.pres.Duration,
+		SegmentCount:       n,
+		SegmentDuration:    s.segDur,
+		StartupDelay:       -1,
+		Displayed:          make([]int, n),
+		DisplayedWallStart: make([]float64, n),
+		// Sized for the common full run: one sample per second plus one
+		// download and transaction per segment (growth still works when
+		// replacement or seeks exceed the estimate).
+		Samples:      make([]BufferSample, 0, int(s.cfg.SessionDuration)+2),
+		Downloads:    make([]Download, 0, n+nAudio+8),
+		Transactions: make([]traffic.Transaction, 0, n+nAudio+16),
+		Declared:     s.declared,
+	}
+	for i := range s.res.Displayed {
+		s.res.Displayed[i] = -1
+		s.res.DisplayedWallStart[i] = -1
+	}
+}
 
 // endAt is the wall time the session's duration budget expires.
 func (s *Session) endAt() float64 { return s.startAt + s.cfg.SessionDuration }
@@ -419,20 +459,25 @@ func (s *Session) advancePlayback(t float64) {
 // simulator-side analogue of the paper's seekbar hook (§2.4).
 func (s *Session) sampleUpTo(t float64) {
 	for s.nextSample <= t+eps {
-		ph := s.playhead
-		if s.playing {
-			ph += s.nextSample - s.lastTime
-			if end := s.playableEnd(); ph > end {
-				ph = end
+		// The tick advances even in lean mode (only the append is
+		// skipped) so full and lean sessions step through identical
+		// deadline sequences.
+		if s.res != nil {
+			ph := s.playhead
+			if s.playing {
+				ph += s.nextSample - s.lastTime
+				if end := s.playableEnd(); ph > end {
+					ph = end
+				}
 			}
+			s.res.Samples = append(s.res.Samples, BufferSample{
+				T:        s.nextSample,
+				Playhead: ph,
+				VideoSec: math.Max(0, s.videoBuf.PlayableEnd(ph)-ph),
+				AudioSec: math.Max(0, s.audioBuf.PlayableEnd(ph)-ph),
+				Playing:  s.playing,
+			})
 		}
-		s.res.Samples = append(s.res.Samples, BufferSample{
-			T:        s.nextSample,
-			Playhead: ph,
-			VideoSec: math.Max(0, s.videoBuf.PlayableEnd(ph)-ph),
-			AudioSec: math.Max(0, s.audioBuf.PlayableEnd(ph)-ph),
-			Playing:  s.playing,
-		})
 		s.nextSample++
 	}
 }
@@ -440,18 +485,43 @@ func (s *Session) sampleUpTo(t float64) {
 // recordDisplayUpTo notes the on-screen track for every segment whose
 // playback begins before media time target.
 func (s *Session) recordDisplayUpTo(target float64) {
-	segDur := s.res.SegmentDuration
-	for s.nextDisplayIdx < s.res.SegmentCount {
+	segDur := s.segDur
+	for s.nextDisplayIdx < s.segCount {
 		start := float64(s.nextDisplayIdx) * segDur
 		if start >= target-eps {
 			break
 		}
 		if seg, ok := s.videoBuf.SegmentAt(start + eps); ok {
-			s.res.Displayed[s.nextDisplayIdx] = seg.Track
-			s.res.DisplayedWallStart[s.nextDisplayIdx] = s.lastTime + (start - s.playhead)
+			if s.res != nil {
+				s.res.Displayed[s.nextDisplayIdx] = seg.Track
+				s.res.DisplayedWallStart[s.nextDisplayIdx] = s.lastTime + (start - s.playhead)
+			}
+			s.foldDisplayed(s.nextDisplayIdx, seg.Track)
 		}
 		s.nextDisplayIdx++
 	}
+}
+
+// foldDisplayed streams one displayed segment into the online Summary,
+// in the exact order and arithmetic qoe.FromResult uses over a full
+// Result's Displayed array, so the lean summary matches the post-hoc
+// fold bit for bit. Segments display in strictly ascending index order
+// (except after a seek, which taints the summary).
+func (s *Session) foldDisplayed(index, track int) {
+	dur := s.segDur
+	if start := float64(index) * s.segDur; start+s.segDur > s.pres.Duration {
+		dur = s.pres.Duration - start
+	}
+	s.sum.WeightedBitrateSec += s.declared[track] * dur
+	s.sum.PlayedMediaSec += dur
+	s.sum.TimeOnTrack[track] += dur
+	if prev := s.sumPrevTrack; prev >= 0 && track != prev {
+		s.sum.Switches++
+		if d := track - prev; d > 1 || d < -1 {
+			s.sum.NonConsecutive++
+		}
+	}
+	s.sumPrevTrack = track
 }
 
 // processSeeks executes scheduled user seeks whose time has come: stop
@@ -467,23 +537,28 @@ func (s *Session) processSeeks() {
 		s.finished = false
 		// Flush: everything buffered is refetched after the jump.
 		for _, b := range s.videoBuf.DropFromIndex(0) {
-			s.res.WastedBytes += b.Bytes
+			s.wastedBytes += b.Bytes
 		}
 		for _, b := range s.audioBuf.DropFromIndex(0) {
-			s.res.WastedBytes += b.Bytes
+			s.wastedBytes += b.Bytes
 		}
 		s.playhead = target
 		s.lastTime = s.net.Now()
-		s.nextVideo = int(target / s.res.SegmentDuration)
+		s.nextVideo = int(target / s.segDur)
 		if s.separateAudio() {
 			s.nextAudio = int(target / s.pres.Audio[0].SegmentDuration)
 		}
+		// Rewinding the display cursor makes the online fold re-count
+		// re-displayed segments; the summary is no longer FromResult.
+		s.sum.Tainted = true
 		s.nextDisplayIdx = s.nextVideo
 		s.pausedVideo, s.pausedAud = false, false
 		s.seekOpen = true
 		s.seekStart = s.net.Now()
-		s.res.Seeks = append(s.res.Seeks, SeekRecord{At: s.net.Now(), To: target, Latency: -1})
-		s.event("seek", fmt.Sprintf("to %.1fs (buffer flushed)", target))
+		if s.res != nil {
+			s.res.Seeks = append(s.res.Seeks, SeekRecord{At: s.net.Now(), To: target, Latency: -1})
+		}
+		s.eventf("seek", "to %.1fs (buffer flushed)", target)
 	}
 }
 
@@ -492,20 +567,31 @@ func (s *Session) startPlaying() {
 	s.curPlay = PlayInterval{WallStart: s.net.Now(), MediaStart: s.playhead}
 	if s.seekOpen {
 		s.seekOpen = false
-		s.res.Seeks[len(s.res.Seeks)-1].Latency = s.net.Now() - s.seekStart
-		s.event("seek-done", fmt.Sprintf("resumed after %.2fs", s.net.Now()-s.seekStart))
+		if s.res != nil {
+			s.res.Seeks[len(s.res.Seeks)-1].Latency = s.net.Now() - s.seekStart
+		}
+		s.eventf("seek-done", "resumed after %.2fs", s.net.Now()-s.seekStart)
 	}
 	if !s.started {
 		s.started = true
 		// Startup delay is measured from the session's own arrival, so a
 		// fleet client joining at t=400 reports the same delay a solo
 		// session (startAt 0) would.
-		s.res.StartupDelay = s.net.Now() - s.startAt
-		s.event("startup", fmt.Sprintf("playback started, delay %.2fs", s.res.StartupDelay))
+		s.startupDelay = s.net.Now() - s.startAt
+		s.sum.StartupDelay = s.startupDelay
+		if s.res != nil {
+			s.res.StartupDelay = s.startupDelay
+		}
+		s.eventf("startup", "playback started, delay %.2fs", s.startupDelay)
 	} else if s.stallOpen {
-		s.res.Stalls = append(s.res.Stalls, Stall{Start: s.stallStart, End: s.net.Now()})
+		st := Stall{Start: s.stallStart, End: s.net.Now()}
+		if s.res != nil {
+			s.res.Stalls = append(s.res.Stalls, st)
+		}
+		s.sum.StallCount++
+		s.sum.StallSec += st.End - st.Start
 		s.stallOpen = false
-		s.event("resume", fmt.Sprintf("stall over after %.2fs", s.net.Now()-s.stallStart))
+		s.eventf("resume", "stall over after %.2fs", s.net.Now()-s.stallStart)
 	}
 }
 
@@ -515,16 +601,25 @@ func (s *Session) stopPlaying(stall bool) {
 	}
 	s.playing = false
 	s.curPlay.WallEnd = s.lastTime
-	s.res.PlayIntervals = append(s.res.PlayIntervals, s.curPlay)
+	if s.res != nil {
+		s.res.PlayIntervals = append(s.res.PlayIntervals, s.curPlay)
+	}
+	s.sum.PlayedSec += s.curPlay.WallEnd - s.curPlay.WallStart
 	if stall {
 		s.stallOpen = true
 		s.stallStart = s.lastTime
-		s.event("stall", fmt.Sprintf("buffer empty at playhead %.1fs", s.playhead))
+		s.eventf("stall", "buffer empty at playhead %.1fs", s.playhead)
 	}
 }
 
-func (s *Session) event(kind, detail string) {
-	s.res.Events = append(s.res.Events, Event{T: s.net.Now(), Kind: kind, Detail: detail})
+// eventf records an annotated timeline event; in lean mode it is a
+// no-op, and the format string is never rendered — which keeps the
+// fmt.Sprintf cost out of the population hot path entirely.
+func (s *Session) eventf(kind, format string, args ...any) {
+	if s.res == nil {
+		return
+	}
+	s.res.Events = append(s.res.Events, Event{T: s.net.Now(), Kind: kind, Detail: fmt.Sprintf(format, args...)})
 }
 
 // maybeStartPlayback applies the startup/recovery gates (§3.3.1, §4.3).
@@ -536,7 +631,7 @@ func (s *Session) maybeStartPlayback() {
 	if s.started {
 		need, needSegs = s.cfg.RecoverySec, s.cfg.RecoverySegments
 	}
-	allDownloaded := s.nextVideo >= s.res.SegmentCount &&
+	allDownloaded := s.nextVideo >= s.segCount &&
 		(!s.separateAudio() || s.nextAudio >= len(s.pres.Audio[0].Segments))
 	if (s.bufferedSec() >= need-eps && s.bufferedSegments() >= needSegs) ||
 		(allDownloaded && s.bufferedSec() > eps) {
@@ -558,13 +653,13 @@ func (s *Session) updatePauseFlags() {
 func (s *Session) hysteresis(paused bool, occ float64, kind string) bool {
 	if paused {
 		if occ <= s.cfg.ResumeThresholdSec+1e-6 {
-			s.event("resume-dl", fmt.Sprintf("%s buffer %.1fs ≤ resume threshold %.0fs", kind, occ, s.cfg.ResumeThresholdSec))
+			s.eventf("resume-dl", "%s buffer %.1fs ≤ resume threshold %.0fs", kind, occ, s.cfg.ResumeThresholdSec)
 			return false
 		}
 		return true
 	}
 	if occ >= s.cfg.PauseThresholdSec-1e-6 {
-		s.event("pause-dl", fmt.Sprintf("%s buffer %.1fs ≥ pause threshold %.0fs", kind, occ, s.cfg.PauseThresholdSec))
+		s.eventf("pause-dl", "%s buffer %.1fs ≥ pause threshold %.0fs", kind, occ, s.cfg.PauseThresholdSec)
 		return true
 	}
 	return false
@@ -606,7 +701,7 @@ func (s *Session) startDoc(slot int, d docReq) {
 // both buffered and inflight media (§3.2's coordination best practice).
 // It returns -1 when everything has been requested.
 func (s *Session) nextTaskSynced() media.MediaType {
-	vDone := s.nextVideo >= s.res.SegmentCount
+	vDone := s.nextVideo >= s.segCount
 	if !s.separateAudio() {
 		if vDone {
 			return media.MediaType(-1)
@@ -614,7 +709,7 @@ func (s *Session) nextTaskSynced() media.MediaType {
 		return media.TypeVideo
 	}
 	aDone := s.nextAudio >= len(s.pres.Audio[0].Segments)
-	vEnd := float64(s.nextVideo) * s.res.SegmentDuration
+	vEnd := float64(s.nextVideo) * s.segDur
 	aEnd := float64(s.nextAudio) * s.pres.Audio[0].SegmentDuration
 	switch {
 	case vDone && aDone:
@@ -659,12 +754,12 @@ func (s *Session) issueParallel() {
 		// audio's 1/N share barely covers its bitrate, so the two
 		// buffers drift tens of seconds apart (Figure 6).
 		audioBehind := float64(s.nextAudio)*s.pres.Audio[0].SegmentDuration <
-			float64(s.nextVideo)*s.res.SegmentDuration
+			float64(s.nextVideo)*s.segDur
 		if !s.conn(0).Busy() && !s.pausedAud && audioBehind && s.nextAudio < len(s.pres.Audio[0].Segments) {
 			s.issueSegment(media.TypeAudio, 0)
 		}
 		for slot := 1; slot < s.cfg.MaxConnections; slot++ {
-			if s.conn(slot).Busy() || s.pausedVideo || s.nextVideo >= s.res.SegmentCount {
+			if s.conn(slot).Busy() || s.pausedVideo || s.nextVideo >= s.segCount {
 				continue
 			}
 			s.issueSegment(media.TypeVideo, slot)
@@ -687,7 +782,7 @@ func (s *Session) issueParallel() {
 			// separate audio from video, not to pipeline video: more
 			// than one concurrent video fetch would split the link and
 			// depress the bandwidth estimate (§3.2).
-			if s.pausedVideo || s.nextVideo >= s.res.SegmentCount || s.videoInflight() >= s.cfg.VideoPipeline {
+			if s.pausedVideo || s.nextVideo >= s.segCount || s.videoInflight() >= s.cfg.VideoPipeline {
 				continue
 			}
 		}
@@ -729,7 +824,7 @@ func (s *Session) issueSplit() {
 	if task == media.TypeAudio && s.pausedAud {
 		task = media.TypeVideo
 	}
-	if task == media.TypeVideo && (s.pausedVideo || s.nextVideo >= s.res.SegmentCount) {
+	if task == media.TypeVideo && (s.pausedVideo || s.nextVideo >= s.segCount) {
 		return
 	}
 	if task != media.TypeVideo && task != media.TypeAudio {
@@ -828,13 +923,13 @@ func (s *Session) prepareSegment(t media.MediaType) (*reqMeta, float64, bool) {
 				dropped := s.videoBuf.DropFromIndex(act.Index)
 				if len(dropped) > 0 {
 					s.discard(dropped)
-					s.event("sr-drop", fmt.Sprintf("dropped %d buffered segments from index %d", len(dropped), act.Index))
+					s.eventf("sr-drop", "dropped %d buffered segments from index %d", len(dropped), act.Index)
 					s.nextVideo = act.Index
 					index = act.Index
 				}
 			}
 		}
-		if !repl && index >= s.res.SegmentCount {
+		if !repl && index >= s.segCount {
 			return nil, 0, false
 		}
 		rend = s.pres.Video[track]
@@ -864,12 +959,14 @@ func (s *Session) prepareSegment(t media.MediaType) (*reqMeta, float64, bool) {
 	if gate := s.cfg.RequestGate; gate != nil {
 		req := Request{URL: m.url, RangeStart: m.rs, RangeEnd: m.re, IsSegment: true, SegmentSeq: s.segSeq}
 		if !gate(req) {
-			now := s.net.Now()
-			s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
-				Start: now, End: now, Method: "GET", URL: m.url,
-				RangeStart: m.rs, RangeEnd: m.re, Rejected: true,
-			})
-			s.event("reject", fmt.Sprintf("origin rejected segment request #%d", s.segSeq))
+			if s.res != nil {
+				now := s.net.Now()
+				s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
+					Start: now, End: now, Method: "GET", URL: m.url,
+					RangeStart: m.rs, RangeEnd: m.re, Rejected: true,
+				})
+			}
+			s.eventf("reject", "origin rejected segment request #%d", s.segSeq)
 			s.downloadDead = true
 			s.freeMeta(m)
 			return nil, 0, false
@@ -881,12 +978,15 @@ func (s *Session) prepareSegment(t media.MediaType) (*reqMeta, float64, bool) {
 	} else if !repl {
 		s.nextVideo = index + 1
 	}
-	m.dlIdx = len(s.res.Downloads)
-	s.res.Downloads = append(s.res.Downloads, Download{
-		Type: t, Track: m.track, Index: index,
-		Declared: rend.DeclaredBitrate, Duration: seg.Duration,
-		Bytes: float64(seg.Size), Start: s.net.Now(), Replacement: repl,
-	})
+	m.dlIdx = -1
+	if s.res != nil {
+		m.dlIdx = len(s.res.Downloads)
+		s.res.Downloads = append(s.res.Downloads, Download{
+			Type: t, Track: m.track, Index: index,
+			Declared: rend.DeclaredBitrate, Duration: seg.Duration,
+			Bytes: float64(seg.Size), Start: s.net.Now(), Replacement: repl,
+		})
+	}
 	return m, float64(seg.Size), true
 }
 
@@ -897,9 +997,9 @@ func (s *Session) selectVideoTrack() int {
 		est = 0 // not enough history: stay on the startup track
 	}
 	ctx := adaptation.Context{
-		Declared:        s.res.Declared,
-		SegmentDuration: s.res.SegmentDuration,
-		SegmentCount:    s.res.SegmentCount,
+		Declared:        s.declared,
+		SegmentDuration: s.segDur,
+		SegmentCount:    s.segCount,
 		NextIndex:       s.nextVideo,
 		BufferSec:       occ,
 		BufferTrend:     occ - s.prevDecisionOcc,
@@ -933,7 +1033,7 @@ func (s *Session) considerReplacement(selected int) replacement.Action {
 		SelectedTrack:   selected,
 		LastTrack:       s.lastVideoTrack,
 		NextIndex:       s.nextVideo,
-		SegmentDuration: s.res.SegmentDuration,
+		SegmentDuration: s.segDur,
 	})
 	if act.Op == replacement.OpReplace && !s.cfg.MidBufferDiscard {
 		// The buffer cannot drop a middle segment; a faithful player
@@ -945,7 +1045,10 @@ func (s *Session) considerReplacement(selected int) replacement.Action {
 
 func (s *Session) discard(dropped []BufferedSegment) {
 	for _, d := range dropped {
-		s.res.WastedBytes += d.Bytes
+		s.wastedBytes += d.Bytes
+		if s.res == nil {
+			continue
+		}
 		for i := len(s.res.Downloads) - 1; i >= 0; i-- {
 			dl := &s.res.Downloads[i]
 			if dl.Type == media.TypeVideo && dl.Index == d.Index && dl.Track == d.Track && !dl.Discarded {
@@ -970,16 +1073,20 @@ func (s *Session) onComplete(tr *simnet.Transfer) {
 	}
 	switch m.kind {
 	case reqDoc:
-		s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
-			Start: tr.Started, End: tr.Completed, Method: "GET", URL: m.url,
-			RangeStart: m.rs, RangeEnd: m.re, Bytes: int64(tr.Size), Body: m.body,
-		})
-		s.res.TotalBytes += tr.Size
+		if s.res != nil {
+			s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
+				Start: tr.Started, End: tr.Completed, Method: "GET", URL: m.url,
+				RangeStart: m.rs, RangeEnd: m.re, Bytes: int64(tr.Size), Body: m.body,
+			})
+		}
+		s.totalBytes += tr.Size
 	case reqSeg:
-		s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
-			Start: tr.Started, End: tr.Completed, Method: "GET", URL: m.url,
-			RangeStart: m.rs, RangeEnd: m.re, Bytes: int64(tr.Size),
-		})
+		if s.res != nil {
+			s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
+				Start: tr.Started, End: tr.Completed, Method: "GET", URL: m.url,
+				RangeStart: m.rs, RangeEnd: m.re, Bytes: int64(tr.Size),
+			})
+		}
 		// Only video chunks feed the estimator: audio segments are tiny,
 		// latency-dominated exchanges that would bias the estimate low.
 		if m.typ == media.TypeVideo {
@@ -987,10 +1094,12 @@ func (s *Session) onComplete(tr *simnet.Transfer) {
 		}
 		s.finishSegmentCore(m, tr.Size, tr.Completed)
 	case reqPart:
-		s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
-			Start: tr.Started, End: tr.Completed, Method: "GET", URL: m.url,
-			RangeStart: m.rs, RangeEnd: m.re, Bytes: int64(tr.Size),
-		})
+		if s.res != nil {
+			s.res.Transactions = append(s.res.Transactions, traffic.Transaction{
+				Start: tr.Started, End: tr.Completed, Method: "GET", URL: m.url,
+				RangeStart: m.rs, RangeEnd: m.re, Bytes: int64(tr.Size),
+			})
+		}
 		g := m.group
 		g.remaining--
 		if g.remaining == 0 {
@@ -1037,8 +1146,8 @@ func (s *Session) addVideoSample(bits, started, completed float64) {
 // finishSegmentCore updates buffers and playback state once a segment
 // (or a completed split group) has fully arrived.
 func (s *Session) finishSegmentCore(m *reqMeta, size, completed float64) {
-	s.res.TotalBytes += size
-	if m.dlIdx >= 0 && m.dlIdx < len(s.res.Downloads) {
+	s.totalBytes += size
+	if s.res != nil && m.dlIdx >= 0 && m.dlIdx < len(s.res.Downloads) {
 		s.res.Downloads[m.dlIdx].End = completed
 	}
 	var rend *manifest.Rendition
@@ -1057,25 +1166,29 @@ func (s *Session) finishSegmentCore(m *reqMeta, size, completed float64) {
 	ph := s.playheadAtNow()
 	if m.replace && bs.Start < ph {
 		// The position already played; the whole re-download is waste.
-		s.res.WastedBytes += size
-		if m.dlIdx >= 0 {
+		s.wastedBytes += size
+		if s.res != nil && m.dlIdx >= 0 {
 			s.res.Downloads[m.dlIdx].Discarded = true
 		}
 	} else {
 		old, replaced := buf.Insert(bs)
 		if replaced {
-			s.res.WastedBytes += old.Bytes
-			for i := len(s.res.Downloads) - 1; i >= 0; i-- {
-				dl := &s.res.Downloads[i]
-				if dl.Type == m.typ && dl.Index == m.index && dl.Track == old.Track && !dl.Discarded && dl.End > 0 {
-					dl.Discarded = true
-					break
+			s.wastedBytes += old.Bytes
+			if s.res != nil {
+				for i := len(s.res.Downloads) - 1; i >= 0; i-- {
+					dl := &s.res.Downloads[i]
+					if dl.Type == m.typ && dl.Index == m.index && dl.Track == old.Track && !dl.Discarded && dl.End > 0 {
+						dl.Discarded = true
+						break
+					}
 				}
 			}
-			s.event("sr-replace", fmt.Sprintf("segment %d: track %d → %d", m.index, old.Track, m.track))
-		} else if m.typ == media.TypeVideo && !m.replace {
+			s.eventf("sr-replace", "segment %d: track %d → %d", m.index, old.Track, m.track)
+		} else if s.res != nil && m.typ == media.TypeVideo && !m.replace {
+			// The prev-track scan walks the download log, so it exists
+			// only when the log does — it feeds nothing but the event.
 			if prev := s.prevDownloadedTrack(m.index); prev >= 0 && prev != m.track {
-				s.event("switch", fmt.Sprintf("segment %d downloaded at track %d (prev %d)", m.index, m.track, prev))
+				s.eventf("switch", "segment %d downloaded at track %d (prev %d)", m.index, m.track, prev)
 			}
 		}
 	}
@@ -1107,11 +1220,24 @@ func (s *Session) finalize() {
 	if s.playing {
 		s.playing = false
 		s.curPlay.WallEnd = s.lastTime
-		s.res.PlayIntervals = append(s.res.PlayIntervals, s.curPlay)
+		if s.res != nil {
+			s.res.PlayIntervals = append(s.res.PlayIntervals, s.curPlay)
+		}
+		s.sum.PlayedSec += s.curPlay.WallEnd - s.curPlay.WallStart
 	}
 	if s.stallOpen {
-		s.res.Stalls = append(s.res.Stalls, Stall{Start: s.stallStart, End: end})
+		if s.res != nil {
+			s.res.Stalls = append(s.res.Stalls, Stall{Start: s.stallStart, End: end})
+		}
+		s.sum.StallCount++
+		s.sum.StallSec += end - s.stallStart
 		s.stallOpen = false
 	}
-	s.res.EndTime = end
+	s.sum.TotalBytes = s.totalBytes
+	s.sum.WastedBytes = s.wastedBytes
+	if s.res != nil {
+		s.res.EndTime = end
+		s.res.TotalBytes = s.totalBytes
+		s.res.WastedBytes = s.wastedBytes
+	}
 }

@@ -1,0 +1,48 @@
+package player
+
+// Summary is the streaming digest of one session: the exact quantities
+// qoe.FromResult extracts from a full Result, accumulated online in the
+// same order and with the same arithmetic, so a lean session's summary
+// is bit-identical to the post-hoc fold over the full Result the same
+// run would have produced. It is a few fixed-size fields plus one
+// ladder-length slice — the entire per-session footprint of the
+// population hot path.
+type Summary struct {
+	// StartupDelay is seconds from arrival to first frame (-1 = never).
+	StartupDelay float64
+	// StallCount and StallSec summarise rebuffering after startup.
+	StallCount int
+	StallSec   float64
+	// PlayedSec is total wall-clock playback time.
+	PlayedSec float64
+	// TimeOnTrack maps ladder index → displayed media seconds.
+	TimeOnTrack []float64
+	// Switches and NonConsecutive count displayed track changes.
+	Switches       int
+	NonConsecutive int
+	// WeightedBitrateSec and PlayedMediaSec carry the displayed-bitrate
+	// fold (Σ declared·duration and Σ duration); the mean displayed
+	// bitrate is their ratio.
+	WeightedBitrateSec float64
+	PlayedMediaSec     float64
+	// TotalBytes and WastedBytes mirror the Result accounting.
+	TotalBytes  float64
+	WastedBytes float64
+	// Tainted marks a summary whose display fold double-counted because
+	// the session executed seeks (the display cursor rewound); consumers
+	// should fall back to the full Result. Fleet workloads never seek.
+	Tainted bool
+}
+
+// AvgBitrate returns the playtime-weighted mean declared bitrate of
+// displayed segments in bits/s, matching qoe.FromResult's computation.
+func (s *Summary) AvgBitrate() float64 {
+	if s.PlayedMediaSec > 0 {
+		return s.WeightedBitrateSec / s.PlayedMediaSec
+	}
+	return 0
+}
+
+// Summary returns the session's online digest. It is complete once the
+// session has finished; lean sessions (SetLean) have no other output.
+func (s *Session) Summary() *Summary { return &s.sum }

@@ -90,6 +90,26 @@ func FromResult(res *player.Result) Report {
 	return rep
 }
 
+// FromSummary converts a session's online Summary — the streaming
+// digest lean sessions and background flows produce — into a Report.
+// For a seek-free full-fidelity session the result is bit-identical to
+// FromResult over the same session's Result: the summary accumulates
+// the very same folds online, in the same order.
+func FromSummary(s *player.Summary) Report {
+	return Report{
+		StartupDelay:   s.StartupDelay,
+		StallCount:     s.StallCount,
+		StallSec:       s.StallSec,
+		PlayedSec:      s.PlayedSec,
+		AvgBitrate:     s.AvgBitrate(),
+		TimeOnTrack:    s.TimeOnTrack,
+		Switches:       s.Switches,
+		NonConsecutive: s.NonConsecutive,
+		DataUsageBytes: s.TotalBytes,
+		WastedBytes:    s.WastedBytes,
+	}
+}
+
 func segDuration(res *player.Result, i int) float64 {
 	start := float64(i) * res.SegmentDuration
 	if start+res.SegmentDuration > res.MediaDuration {

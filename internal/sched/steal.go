@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Work-stealing execution of an indexed workload. The unit space
+// [0, n) is partitioned into per-worker deques, each holding one
+// contiguous range of unit indices packed into a single atomic word.
+// A worker pops units off the front of its own range; when it runs
+// dry it steals the back half of the fullest victim's range. Both
+// operations are single-CAS, so the layer adds no locks to the hot
+// path and an idle worker converges on the remaining work instead of
+// spinning on a shared counter.
+//
+// The schedule — who runs which unit, and in what interleaving — is
+// deliberately unspecified. Callers own the determinism story: fn
+// must be a pure function of its index (the fleet derives each cell's
+// RNG stream from the fleet seed and the cell index, so a stolen cell
+// computes the same bytes it would have computed on its home shard),
+// and any order-sensitive reduction must happen outside, keyed by
+// index. RunStealing guarantees only that fn runs exactly once per
+// index of a completed run.
+
+// StealStats summarises how a RunStealing call distributed its units.
+// The numbers describe the schedule, never the results: two runs with
+// wildly different stats must produce identical outputs.
+type StealStats struct {
+	// Steals counts successful steal operations (a thief acquiring a
+	// non-empty range from a victim).
+	Steals int64
+	// Stolen counts the units moved by those steals.
+	Stolen int64
+}
+
+// StealOptions selects a schedule shape, mostly for tests that need to
+// pin "the schedule does not move the bytes".
+type StealOptions struct {
+	// DisableSteal statically partitions the units: every worker runs
+	// exactly its own initial range (a steal-free schedule).
+	DisableSteal bool
+	// Hog seeds the entire workload into worker 0's deque, so every
+	// other worker can make progress only by stealing (a steal-heavy
+	// schedule).
+	Hog bool
+}
+
+// deque is one worker's contiguous range of unit indices, packed as
+// lo<<32|hi. The owner advances lo; thieves retreat hi. Empty when
+// lo >= hi.
+type deque struct {
+	state atomic.Uint64
+}
+
+func packRange(lo, hi int) uint64 { return uint64(lo)<<32 | uint64(hi) }
+
+func unpackRange(st uint64) (lo, hi int) { return int(st >> 32), int(st & 0xffffffff) }
+
+// popFront claims the owner-side unit, if any.
+func (d *deque) popFront() (int, bool) {
+	for {
+		st := d.state.Load()
+		lo, hi := unpackRange(st)
+		if lo >= hi {
+			return 0, false
+		}
+		if d.state.CompareAndSwap(st, packRange(lo+1, hi)) {
+			return lo, true
+		}
+	}
+}
+
+// size returns the current number of units in the deque (racy; used
+// only to pick a victim, never for correctness).
+func (d *deque) size() int {
+	lo, hi := unpackRange(d.state.Load())
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// stealHalf moves the back half (at least one unit) of the deque to
+// the caller. Returns the stolen range.
+func (d *deque) stealHalf() (lo, hi int, ok bool) {
+	for {
+		st := d.state.Load()
+		vlo, vhi := unpackRange(st)
+		if vlo >= vhi {
+			return 0, 0, false
+		}
+		take := (vhi - vlo + 1) / 2
+		if d.state.CompareAndSwap(st, packRange(vlo, vhi-take)) {
+			return vhi - take, vhi, true
+		}
+	}
+}
+
+// RunStealing executes fn(i) exactly once for every i in [0, n) across
+// up to `workers` concurrent workers (the caller runs inline as worker
+// 0; helper goroutines are gated by non-blocking TryAcquire on the
+// scheduler, same contract as nested fan-out elsewhere). The first
+// error by unit index wins, and an error or ctx cancellation stops
+// workers from claiming new units. Stats describe the schedule that
+// happened to run; they carry no information about the results.
+func (s *Scheduler) RunStealing(ctx context.Context, n, workers int, opts StealOptions, fn func(int) error) (StealStats, error) {
+	var stats StealStats
+	if n <= 0 {
+		return stats, ctx.Err()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	deques := make([]deque, workers)
+	if opts.Hog {
+		deques[0].state.Store(packRange(0, n))
+	} else {
+		// Balanced contiguous partition: worker w starts with
+		// [w*n/workers, (w+1)*n/workers).
+		for w := 0; w < workers; w++ {
+			deques[w].state.Store(packRange(w*n/workers, (w+1)*n/workers))
+		}
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		steals, stolen atomic.Int64
+		errMu          sync.Mutex
+		errIdx         = n
+		firstErr       error
+	)
+	record := func(i int, err error) {
+		errMu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	work := func(w int) {
+		own := &deques[w]
+		for ctx.Err() == nil {
+			i, ok := own.popFront()
+			if !ok {
+				if opts.DisableSteal {
+					// No steal-half rebalancing, but completion must not
+					// depend on every helper having spawned (TryAcquire is
+					// best-effort): an idle worker adopts units one at a
+					// time off the front of the first non-empty deque.
+					adopted := false
+					for v := range deques {
+						if v == w {
+							continue
+						}
+						if j, ok2 := deques[v].popFront(); ok2 {
+							i, adopted = j, true
+							break
+						}
+					}
+					if !adopted {
+						return
+					}
+					if err := fn(i); err != nil {
+						record(i, err)
+						return
+					}
+					continue
+				}
+				// Pick the fullest victim. An empty scan means every
+				// remaining unit is already claimed by the worker that
+				// will run it (popped, or mid-steal by a thief that now
+				// owns it), so this worker is done.
+				best, bestSize := -1, 0
+				for v := range deques {
+					if v == w {
+						continue
+					}
+					if sz := deques[v].size(); sz > bestSize {
+						best, bestSize = v, sz
+					}
+				}
+				if best < 0 {
+					return
+				}
+				lo, hi, ok := deques[best].stealHalf()
+				if !ok {
+					continue // lost the race; rescan
+				}
+				steals.Add(1)
+				stolen.Add(int64(hi - lo))
+				// Keep one unit, park the rest in the own (empty) deque
+				// where other thieves can rebalance it further.
+				i = lo
+				if lo+1 < hi {
+					own.state.Store(packRange(lo+1, hi))
+				}
+			}
+			if err := fn(i); err != nil {
+				record(i, err)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 1; w < workers && s.TryAcquire(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer s.Release()
+			work(w)
+		}(w)
+	}
+	work(0)
+	wg.Wait()
+
+	stats.Steals = steals.Load()
+	stats.Stolen = stolen.Load()
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return stats, err
+	}
+	return stats, parent.Err()
+}

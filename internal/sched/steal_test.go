@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// runCover executes RunStealing over n units and asserts every unit ran
+// exactly once, returning the stats.
+func runCover(t *testing.T, s *Scheduler, n, workers int, opts StealOptions) StealStats {
+	t.Helper()
+	counts := make([]atomic.Int32, n)
+	stats, err := s.RunStealing(context.Background(), n, workers, opts, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("unit %d ran %d times (opts %+v)", i, c, opts)
+		}
+	}
+	return stats
+}
+
+func TestRunStealingCoversAllUnits(t *testing.T) {
+	s := New(8)
+	for _, workers := range []int{1, 2, 8, 16} {
+		for _, opts := range []StealOptions{{}, {Hog: true}, {DisableSteal: true}} {
+			runCover(t, s, 257, workers, opts)
+		}
+	}
+	// Degenerate sizes.
+	runCover(t, s, 1, 8, StealOptions{})
+	if _, err := s.RunStealing(context.Background(), 0, 4, StealOptions{}, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStealingHogSteals pins the schedule shapes the fleet's
+// determinism test relies on: a hog run with real concurrency must
+// actually steal, and a DisableSteal run must never steal.
+func TestRunStealingHogSteals(t *testing.T) {
+	s := New(8)
+	hogged := StealStats{}
+	// The hog schedule only steals when a helper goroutine actually runs
+	// concurrently; on a single-P runtime worker 0 can drain the whole
+	// deque before any helper is scheduled, so fn yields and we retry a
+	// few times to shake scheduling luck.
+	for try := 0; try < 50 && hogged.Steals == 0; try++ {
+		counts := make([]atomic.Int32, 400)
+		st, err := s.RunStealing(context.Background(), 400, 8, StealOptions{Hog: true}, func(i int) error {
+			counts[i].Add(1)
+			runtime.Gosched()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("unit %d ran %d times under hog schedule", i, c)
+			}
+		}
+		hogged = st
+	}
+	if hogged.Steals == 0 {
+		t.Fatal("hog schedule with 8 workers never stole")
+	}
+	if st := runCover(t, s, 400, 8, StealOptions{DisableSteal: true}); st.Steals != 0 || st.Stolen != 0 {
+		t.Fatalf("DisableSteal schedule reported steals: %+v", st)
+	}
+}
+
+func TestRunStealingFirstErrorByIndexWins(t *testing.T) {
+	s := New(4)
+	boom := func(i int) error { return fmt.Errorf("unit %d failed", i) }
+	_, err := s.RunStealing(context.Background(), 100, 4, StealOptions{}, func(i int) error {
+		if i == 7 || i == 93 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error was dropped")
+	}
+	// Both failing units may or may not run before cancellation, but the
+	// reported error must be the smallest-index one that did.
+	if err.Error() != "unit 7 failed" && err.Error() != "unit 93 failed" {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestRunStealingHonorsContext(t *testing.T) {
+	s := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int32{}
+	_, err := s.RunStealing(ctx, 50, 2, StealOptions{}, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d units ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestRunStealingWorkersBeyondCapacity: helper spawn is gated by
+// TryAcquire, so a workers value far beyond the scheduler capacity
+// still completes (the caller works inline) without leaking slots.
+func TestRunStealingWorkersBeyondCapacity(t *testing.T) {
+	s := New(1)
+	runCover(t, s, 64, 32, StealOptions{})
+	if !s.TryAcquire() {
+		t.Fatal("scheduler slot leaked by RunStealing")
+	}
+	s.Release()
+}
