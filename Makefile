@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check lint lint-vettool verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke cache-determinism fleet-smoke fleet-scale
+.PHONY: build vet fmt fmt-check lint lint-vettool lint-audit verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke cache-determinism fleet-smoke fleet-scale
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,9 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$files"; exit 1; \
 	fi
 
-# The determinism-contract analyzers (simclock, seededrand, maprange,
-# floateq, bpsunits) over the whole module. Standalone mode needs no
+# The contract analyzers — determinism (simclock, seededrand, maprange,
+# floateq, bpsunits) plus the dataflow contracts (stepalias, hotalloc,
+# foldorder, goctx) — over the whole module. Standalone mode needs no
 # network and no vet driver; see lint-vettool for the cached variant.
 lint:
 	$(GO) run ./cmd/vodlint .
@@ -33,8 +34,15 @@ lint-vettool:
 	$(GO) build -o bin/vodlint ./cmd/vodlint
 	$(GO) vet -vettool=$(CURDIR)/bin/vodlint ./...
 
+# Full suite plus the stale-suppression audit: every //vodlint:allow in
+# the tree must still suppress a diagnostic of a known analyzer, or the
+# audit fails the build (standalone-only; vet units are too narrow to
+# prove a directive dead).
+lint-audit:
+	$(GO) run ./cmd/vodlint -unused-allow .
+
 # Everything a PR must pass, in the order CI runs it.
-verify: build vet fmt-check lint test
+verify: build vet fmt-check lint lint-vettool lint-audit test
 
 # Native fuzz targets, a few seconds each — the CI smoke setting.
 # Targets are discovered by scanning test files, so a new Fuzz* harness

@@ -75,6 +75,7 @@ func main() {
 	var peakHeap atomic.Uint64
 	if *memCeiling > 0 {
 		limit := uint64(*memCeiling) << 20
+		//vodlint:allow goctx — process-lifetime heap sampler: dies with the run, nothing to cancel
 		go func() {
 			var ms runtime.MemStats
 			for {
@@ -86,7 +87,7 @@ func main() {
 					log.Fatalf("vodfleet: live heap %.1f MiB exceeded the %d MiB ceiling",
 						float64(ms.HeapAlloc)/(1<<20), *memCeiling)
 				}
-				time.Sleep(100 * time.Millisecond) //vodlint:allow simclock — heap sampler cadence, never enters the report
+				time.Sleep(100 * time.Millisecond)
 			}
 		}()
 	}
@@ -95,14 +96,14 @@ func main() {
 	if *noCache {
 		run = fleet.Run
 	}
-	start := time.Now() //vodlint:allow simclock — wall-clock progress timing only, never enters the report
+	start := time.Now()
 	rep, err := run(context.Background(), cfg, *workers)
 	if err != nil {
 		log.Fatalf("vodfleet: %v", err)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "vodfleet: %d sessions in %d cells simulated in %.1fs\n",
-			rep.Sessions, rep.Cells, time.Since(start).Seconds()) //vodlint:allow simclock — wall-clock progress timing only
+			rep.Sessions, rep.Cells, time.Since(start).Seconds())
 	}
 	if *memCeiling > 0 {
 		fmt.Fprintf(os.Stderr, "vodfleet: peak live heap %.1f MiB (ceiling %d MiB)\n",

@@ -1,11 +1,15 @@
-// Command vodlint runs the repository's determinism-contract analyzers
-// (simclock, seededrand, maprange, floateq, bpsunits) over the module.
+// Command vodlint runs the repository's contract analyzers over the
+// module: the determinism suite (simclock, seededrand, maprange,
+// floateq, bpsunits) and the dataflow suite (stepalias, hotalloc,
+// foldorder, goctx).
 //
 // Standalone mode loads and type-checks every package of the module
 // rooted at the named directory (default ".") without the go tool:
 //
 //	vodlint            # lint the module at .
 //	vodlint -only simclock,maprange /path/to/module
+//	vodlint -json .    # findings as a JSON array
+//	vodlint -unused-allow .  # also report stale //vodlint:allow directives
 //
 // It also speaks the go vet vettool protocol, so the same binary plugs
 // into the build cache-aware driver:
@@ -15,7 +19,10 @@
 //
 // In that mode the go command hands the tool a JSON config per package
 // (files, import map, export data) and the tool type-checks against gc
-// export data instead of source.
+// export data instead of source. The -json and -unused-allow flags are
+// standalone-only: go vet owns the output format, and the stale-
+// directive audit needs the whole module in one process to know which
+// suppressions fired.
 //
 // Exit status: 0 clean, 1 findings, 2 operational error.
 package main
@@ -30,20 +37,10 @@ import (
 	"strings"
 
 	"repro/internal/lint"
-	"repro/internal/lint/bpsunits"
-	"repro/internal/lint/floateq"
-	"repro/internal/lint/maprange"
-	"repro/internal/lint/seededrand"
-	"repro/internal/lint/simclock"
+	"repro/internal/lint/analyzers"
 )
 
-var all = []*lint.Analyzer{
-	simclock.Analyzer,
-	seededrand.Analyzer,
-	maprange.Analyzer,
-	floateq.Analyzer,
-	bpsunits.Analyzer,
-}
+var all = analyzers.All()
 
 func main() {
 	var (
@@ -51,9 +48,11 @@ func main() {
 		only        = flag.String("only", "", "comma-separated subset of analyzers to run")
 		list        = flag.Bool("list", false, "list analyzers and exit")
 		flagsFlag   = flag.Bool("flags", false, "print flag descriptions in JSON (go vet handshake)")
+		jsonOut     = flag.Bool("json", false, "emit findings as a JSON array (standalone mode)")
+		unusedAllow = flag.Bool("unused-allow", false, "also report stale //vodlint:allow directives (standalone mode, full suite)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vodlint [-only a,b] [module-dir]\n   or: go vet -vettool=$(command -v vodlint) ./...\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vodlint [-only a,b] [-json] [-unused-allow] [module-dir]\n   or: go vet -vettool=$(command -v vodlint) ./...\n\nAnalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -74,22 +73,26 @@ func main() {
 		}
 		return
 	}
-	analyzers, err := selectAnalyzers(*only)
+	selected, err := selectAnalyzers(*only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vodlint:", err)
+		os.Exit(2)
+	}
+	if *unusedAllow && *only != "" {
+		fmt.Fprintln(os.Stderr, "vodlint: -unused-allow needs the full suite; drop -only (a directive is only provably stale against every analyzer)")
 		os.Exit(2)
 	}
 
 	// go vet invokes the tool with a single *.cfg argument.
 	if args := flag.Args(); len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(unitcheck(args[0], analyzers))
+		os.Exit(unitcheck(args[0], selected))
 	}
 
 	dir := "."
 	if args := flag.Args(); len(args) > 0 {
 		dir = args[0]
 	}
-	os.Exit(standalone(dir, analyzers))
+	os.Exit(standalone(dir, selected, *jsonOut, *unusedAllow))
 }
 
 // selectAnalyzers resolves the -only subset.
@@ -112,8 +115,19 @@ func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
 	return out, nil
 }
 
+// jsonDiagnostic is the -json wire form of one finding: flat fields,
+// stable names, module-relative path — what the CI problem matcher
+// and any downstream tooling key on.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // standalone lints a whole module via the source loader.
-func standalone(dir string, analyzers []*lint.Analyzer) int {
+func standalone(dir string, analyzers []*lint.Analyzer, jsonOut, unusedAllow bool) int {
 	root, err := findModuleRoot(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vodlint:", err)
@@ -124,25 +138,54 @@ func standalone(dir string, analyzers []*lint.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "vodlint:", err)
 		return 2
 	}
-	exit := 0
+	var audit *lint.Audit
+	if unusedAllow {
+		audit = lint.NewAudit(analyzers)
+	}
+	var found []lint.Diagnostic
 	for _, pkg := range pkgs {
-		// The lint framework does not police itself or its fixtures:
-		// analyzer testdata is full of deliberate violations.
-		diags, err := lint.Run(pkg, analyzers)
+		diags, err := lint.RunWithAudit(pkg, analyzers, audit)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vodlint:", err)
 			return 2
 		}
-		for _, d := range diags {
-			rel := d
-			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-				rel.Pos.Filename = r
-			}
-			fmt.Println(rel)
-			exit = 1
+		found = append(found, diags...)
+	}
+	if audit != nil {
+		found = append(found, audit.Stale()...)
+		lint.SortDiagnostics(found)
+	}
+	for i, d := range found {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			found[i].Pos.Filename = rel
 		}
 	}
-	return exit
+	if jsonOut {
+		out := make([]jsonDiagnostic, 0, len(found))
+		for _, d := range found {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vodlint:", err)
+			return 2
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, d := range found {
+			fmt.Println(d)
+		}
+	}
+	if len(found) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // findModuleRoot walks up from dir to the nearest go.mod.
@@ -165,7 +208,9 @@ func findModuleRoot(dir string) (string, error) {
 
 // printFlags implements the -flags handshake: the go command queries the
 // vettool for its flag set as a JSON array so it can accept those flags
-// on its own command line and forward them.
+// on its own command line and forward them. Only -only is advertised:
+// -json and -unused-allow are standalone concerns the vet driver must
+// not forward per package.
 func printFlags() {
 	type jsonFlag struct {
 		Name  string

@@ -30,6 +30,7 @@ func main() {
 
 	rec := proxy.New(nil, *rate*1e6)
 	srv := &http.Server{Addr: *addr, Handler: rec}
+	//vodlint:allow goctx — server goroutine lives until Ctrl-C; shutdown is the signal handler's job below
 	go func() {
 		log.Printf("vodproxy listening on %s (rate %.2f Mbit/s); Ctrl-C to analyze", *addr, *rate)
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {

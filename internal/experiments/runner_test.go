@@ -151,7 +151,7 @@ func TestSweepBoundedByScheduler(t *testing.T) {
 					break
 				}
 			}
-			time.Sleep(time.Millisecond) //vodlint:allow simclock — real sleep forcing worker overlap in a scheduler test
+			time.Sleep(time.Millisecond)
 			running.Add(-1)
 			return 0, nil
 		})

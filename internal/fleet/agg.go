@@ -233,6 +233,8 @@ func newSvcCols(nsvc int) *svcCols {
 // add folds one sample of a metric for a service: a Welford column
 // update plus one histogram bin increment, same arithmetic as
 // welford.add and hist.add.
+//
+//vodlint:hotpath — columnar fold: several calls per session, a million sessions per report
 func (c *svcCols) add(svc, metric int, v float64) {
 	row := svc*nMetrics + metric
 	c.n[row]++
@@ -259,6 +261,8 @@ func (c *svcCols) add(svc, metric int, v float64) {
 
 // merge folds o into c: flat loops over the slabs, with the Chan et al.
 // pairwise update per Welford row. Callers fix the merge order.
+//
+//vodlint:hotpath — shard-aggregate merge: once per cell on the prefix-fold path
 func (c *svcCols) merge(o *svcCols) {
 	for i := range c.sessions {
 		c.sessions[i] += o.sessions[i]
@@ -330,6 +334,8 @@ func newCellAgg(nsvc int) *cellAgg {
 // ratio reports them. Full sessions arrive here via qoe.FromSummary over
 // the player's online digest; background flows via the same path over
 // their coarse digest — the fold cannot tell them apart.
+//
+//vodlint:hotpath — per-session fold into the columnar slabs
 func (a *cellAgg) observe(svcIdx int, rep qoe.Report) {
 	a.cols.sessions[svcIdx]++
 	if rep.StartupDelay < 0 {

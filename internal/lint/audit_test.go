@@ -1,0 +1,114 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// boomAnalyzer reports every call to a function named boom — a
+// minimal analyzer for exercising the suppression audit.
+var boomAnalyzer = &lint.Analyzer{
+	Name: "boom",
+	Doc:  "test analyzer: flag calls to boom",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "call to boom")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const auditSrc = `package p
+
+func boom() {}
+
+func used() {
+	boom() //vodlint:allow boom — load-bearing suppression
+}
+
+func stale() {
+	_ = 1 //vodlint:allow boom — nothing to suppress here
+}
+
+func unknown() {
+	_ = 2 //vodlint:allow nosuchanalyzer — typo in the name
+}
+
+func bare() {
+	_ = 3 //vodlint:allow
+}
+`
+
+func TestAuditReportsStaleDirectives(t *testing.T) {
+	pkg := typecheck(t, auditSrc)
+	audit := lint.NewAudit([]*lint.Analyzer{boomAnalyzer})
+	diags, err := lint.RunWithAudit(pkg, []*lint.Analyzer{boomAnalyzer}, audit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("want every finding suppressed, got %v", diags)
+	}
+	stale := audit.Stale()
+	wants := []string{
+		"stale //vodlint:allow boom",
+		`unknown analyzer "nosuchanalyzer"`,
+		"bare //vodlint:allow",
+	}
+	if len(stale) != len(wants) {
+		t.Fatalf("want %d audit findings, got %d: %v", len(wants), len(stale), stale)
+	}
+	for i, want := range wants {
+		if !strings.Contains(stale[i].Message, want) {
+			t.Errorf("audit finding %d = %q, want substring %q", i, stale[i].Message, want)
+		}
+	}
+}
+
+func TestAuditQuietWhenEveryDirectiveFires(t *testing.T) {
+	pkg := typecheck(t, "package p\n\nfunc boom() {}\n\nfunc f() {\n\tboom() //vodlint:allow boom — fires\n}\n")
+	audit := lint.NewAudit([]*lint.Analyzer{boomAnalyzer})
+	if _, err := lint.RunWithAudit(pkg, []*lint.Analyzer{boomAnalyzer}, audit); err != nil {
+		t.Fatal(err)
+	}
+	if stale := audit.Stale(); len(stale) != 0 {
+		t.Fatalf("want clean audit, got %v", stale)
+	}
+}
+
+// typecheck builds a lint.Package from one import-free source string.
+func typecheck(t *testing.T, src string) *lint.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tpkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &lint.Package{Path: "p", Dir: ".", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}

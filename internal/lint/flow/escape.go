@@ -1,0 +1,353 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Sink is one site where a tracked value outlives its function's
+// frame. What is a sentence fragment ("returned", "stored in s.last")
+// the analyzer splices into its diagnostic.
+type Sink struct {
+	Pos  token.Pos
+	What string
+}
+
+// EscapeOpts tunes the tracker.
+type EscapeOpts struct {
+	// SafeCall reports callees known not to retain their arguments
+	// (e.g. simnet.Recycle returns its transfer to the free list).
+	SafeCall func(*types.Func) bool
+}
+
+// maxRetainDepth bounds the interprocedural recursion of the
+// parameter-retention check.
+const maxRetainDepth = 3
+
+// Escapes traces the values produced by the seed expressions through
+// the node's body and returns, in source order, every sink where a
+// tracked value (or a value derived from it by indexing, slicing, or
+// ranging) is retained beyond the frame: returned, stored into a
+// field, package or captured variable, map/slice element or pointer
+// target, appended to an untracked slice, sent on a channel, handed
+// to a goroutine, or passed to a same-package callee that retains the
+// parameter. Reads of fields of a tracked value are not sinks: the
+// contracts this serves govern the container, not data copied out of
+// it.
+func (g *Graph) Escapes(node *Node, seeds []ast.Expr, opts EscapeOpts) []Sink {
+	r := g.newRun(node, opts, maxRetainDepth)
+	for _, s := range seeds {
+		r.taintExpr(s)
+	}
+	r.drain()
+	return r.sinks
+}
+
+// Retains reports whether calling the node can retain the value
+// passed as its arg'th argument (0-based, receiver excluded) beyond
+// the call.
+func (g *Graph) Retains(node *Node, arg int) bool {
+	return g.retains(node, arg, maxRetainDepth, EscapeOpts{})
+}
+
+type retainKey struct {
+	node *Node
+	arg  int
+}
+
+func (g *Graph) retains(node *Node, arg int, depth int, opts EscapeOpts) bool {
+	key := retainKey{node, arg}
+	if v, ok := g.retMemo[key]; ok {
+		return v
+	}
+	// Seed the memo optimistically so recursion through a call cycle
+	// terminates; the final answer overwrites it below.
+	g.retMemo[key] = false
+	obj := paramObj(g.info, node, arg)
+	if obj == nil {
+		return false
+	}
+	r := g.newRun(node, opts, depth)
+	r.taintObj(obj)
+	r.drain()
+	res := len(r.sinks) > 0
+	g.retMemo[key] = res
+	return res
+}
+
+// paramObj resolves a node's arg'th parameter object; variadic
+// parameters absorb every trailing index.
+func paramObj(info *types.Info, node *Node, arg int) types.Object {
+	var ft *ast.FuncType
+	if node.Decl != nil {
+		ft = node.Decl.Type
+	} else {
+		ft = node.Lit.Type
+	}
+	var names []*ast.Ident
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			names = append(names, nil) // unnamed parameter cannot be referenced
+			continue
+		}
+		names = append(names, field.Names...)
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	if arg >= len(names) {
+		arg = len(names) - 1 // variadic tail
+	}
+	if arg < 0 || names[arg] == nil || names[arg].Name == "_" {
+		return nil
+	}
+	return info.Defs[names[arg]]
+}
+
+// escapeRun is the per-invocation state of one escape trace.
+type escapeRun struct {
+	g     *Graph
+	node  *Node
+	opts  EscapeOpts
+	depth int
+
+	uses       map[types.Object][]*ast.Ident
+	tainted    map[ast.Node]bool
+	taintedObj map[types.Object]bool
+	queue      []ast.Expr
+	sinks      []Sink
+}
+
+func (g *Graph) newRun(node *Node, opts EscapeOpts, depth int) *escapeRun {
+	r := &escapeRun{
+		g:          g,
+		node:       node,
+		opts:       opts,
+		depth:      depth,
+		uses:       map[types.Object][]*ast.Ident{},
+		tainted:    map[ast.Node]bool{},
+		taintedObj: map[types.Object]bool{},
+	}
+	// Index identifier uses across the whole body, nested literals
+	// included: a capture of a tracked value inside a closure follows
+	// the same rules as any other use.
+	if body := node.Body(); body != nil {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := g.info.ObjectOf(id); obj != nil {
+					r.uses[obj] = append(r.uses[obj], id)
+				}
+			}
+			return true
+		})
+	}
+	return r
+}
+
+func (r *escapeRun) taintExpr(e ast.Expr) {
+	if e == nil || r.tainted[e] {
+		return
+	}
+	r.tainted[e] = true
+	r.queue = append(r.queue, e)
+}
+
+func (r *escapeRun) taintObj(obj types.Object) {
+	if obj == nil || r.taintedObj[obj] {
+		return
+	}
+	r.taintedObj[obj] = true
+	for _, id := range r.uses[obj] {
+		r.taintExpr(id)
+	}
+}
+
+func (r *escapeRun) sink(pos token.Pos, what string) {
+	r.sinks = append(r.sinks, Sink{Pos: pos, What: what})
+}
+
+func (r *escapeRun) drain() {
+	for len(r.queue) > 0 {
+		e := r.queue[0]
+		r.queue = r.queue[1:]
+		r.step(e)
+	}
+	sortSinks(r.sinks)
+}
+
+// step classifies one tainted expression by its syntactic parent,
+// either propagating the taint outward or recording a sink.
+func (r *escapeRun) step(e ast.Expr) {
+	p := r.g.parent[e]
+	if p == nil {
+		return
+	}
+	switch parent := p.(type) {
+	case *ast.ParenExpr:
+		r.taintExpr(parent)
+	case *ast.AssignStmt:
+		r.assign(parent, e)
+	case *ast.ValueSpec:
+		for i, v := range parent.Values {
+			if v == e && i < len(parent.Names) {
+				r.assignTo(parent.Names[i], e)
+			}
+		}
+	case *ast.ReturnStmt:
+		r.sink(e.Pos(), "returned")
+	case *ast.SendStmt:
+		if parent.Value == e {
+			r.sink(e.Pos(), "sent on a channel")
+		}
+	case *ast.CallExpr:
+		r.call(parent, e)
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		r.taintExpr(p.(ast.Expr))
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND {
+			r.taintExpr(parent)
+		}
+	case *ast.StarExpr:
+		r.taintExpr(parent)
+	case *ast.IndexExpr:
+		if parent.X == e {
+			r.taintExpr(parent) // element of a tracked slice/map
+		}
+	case *ast.SliceExpr:
+		if parent.X == e {
+			r.taintExpr(parent)
+		}
+	case *ast.TypeAssertExpr:
+		r.taintExpr(parent)
+	case *ast.RangeStmt:
+		if parent.X != e {
+			return
+		}
+		// Elements of a tracked slice are tracked values themselves.
+		if id, ok := parent.Value.(*ast.Ident); ok {
+			r.taintObj(r.g.info.ObjectOf(id))
+		}
+	}
+}
+
+// assign classifies a tainted right-hand side by its target.
+func (r *escapeRun) assign(st *ast.AssignStmt, e ast.Expr) {
+	for i, rhs := range st.Rhs {
+		if rhs != e {
+			continue
+		}
+		if len(st.Lhs) == len(st.Rhs) {
+			r.assignTo(st.Lhs[i], e)
+			return
+		}
+		for _, lhs := range st.Lhs { // x, y := f() — taint every target
+			r.assignTo(lhs, e)
+		}
+		return
+	}
+}
+
+func (r *escapeRun) assignTo(lhs ast.Expr, e ast.Expr) {
+	switch target := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if target.Name == "_" {
+			return
+		}
+		obj := r.g.info.ObjectOf(target)
+		if obj == nil {
+			return
+		}
+		switch {
+		case obj.Parent() == r.g.pkgScope:
+			r.sink(e.Pos(), "stored in package variable "+target.Name)
+		case obj.Pos() < r.node.Pos() || obj.Pos() > r.node.End():
+			r.sink(e.Pos(), "stored in captured variable "+target.Name)
+		default:
+			r.taintObj(obj)
+		}
+	case *ast.SelectorExpr:
+		r.sink(e.Pos(), "stored in "+types.ExprString(target))
+	case *ast.IndexExpr:
+		r.sink(e.Pos(), "stored in element "+types.ExprString(target))
+	case *ast.StarExpr:
+		r.sink(e.Pos(), "stored through pointer "+types.ExprString(target))
+	}
+}
+
+// call classifies a tainted argument of a call.
+func (r *escapeRun) call(call *ast.CallExpr, e ast.Expr) {
+	if call.Fun == e {
+		return // calling a tracked func value retains nothing
+	}
+	info := r.g.info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		r.taintExpr(call) // conversion: same value, new type
+		return
+	}
+	if b := builtinName(info, call); b != "" {
+		switch b {
+		case "append":
+			if call.Args[0] == e || r.destTainted(call.Args[0]) {
+				r.taintExpr(call) // growing a tracked slice stays tracked
+				return
+			}
+			r.sink(e.Pos(), "appended to "+types.ExprString(call.Args[0]))
+		case "copy":
+			if len(call.Args) == 2 && call.Args[1] == e && !r.destTainted(call.Args[0]) {
+				r.sink(e.Pos(), "copied into "+types.ExprString(call.Args[0]))
+			}
+		}
+		return // len, cap, delete, close, panic, ... retain nothing
+	}
+	if _, ok := r.g.parent[call].(*ast.GoStmt); ok {
+		r.sink(e.Pos(), "passed to a goroutine")
+		return
+	}
+	fn := r.g.StaticCallee(call)
+	if fn != nil && r.opts.SafeCall != nil && r.opts.SafeCall(fn) {
+		return
+	}
+	callee := r.g.CalleeNode(call)
+	if callee == nil || r.depth == 0 {
+		return // cross-package or dynamic callee: assume borrow, not retain
+	}
+	for i, arg := range call.Args {
+		if arg == e && r.g.retains(callee, i, r.depth-1, r.opts) {
+			r.sink(e.Pos(), "passed to "+callee.Name()+", which retains its argument")
+			return
+		}
+	}
+}
+
+// destTainted reports whether an append/copy destination is itself a
+// tracked value, making the operation an alias-preserving grow rather
+// than an escape.
+func (r *escapeRun) destTainted(dest ast.Expr) bool {
+	if r.tainted[dest] {
+		return true
+	}
+	if id, ok := ast.Unparen(dest).(*ast.Ident); ok {
+		return r.taintedObj[r.g.info.ObjectOf(id)]
+	}
+	return false
+}
+
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+func sortSinks(sinks []Sink) {
+	for i := 1; i < len(sinks); i++ {
+		for j := i; j > 0 && sinks[j].Pos < sinks[j-1].Pos; j-- {
+			sinks[j], sinks[j-1] = sinks[j-1], sinks[j]
+		}
+	}
+}

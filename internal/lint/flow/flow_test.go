@@ -1,0 +1,160 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/flow"
+)
+
+const src = `package p
+
+var global []byte
+
+//vodlint:hotpath
+func Root() {
+	work := func(n int) { Leaf(n) }
+	work(1)
+}
+
+func Leaf(n int) {}
+
+func Unreached() {}
+
+func Keep(b []byte) { global = b }
+
+func Relay(b []byte) { Keep(b) }
+
+func Drop(b []byte) { _ = len(b) }
+
+func mk() []byte { return nil }
+
+func Esc() []byte {
+	x := mk()
+	global = x
+	return x
+}
+
+func NoEsc() int {
+	x := mk()
+	return len(x)
+}
+`
+
+func build(t *testing.T) (*flow.Graph, *lint.Pass) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &lint.Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+	return flow.New(pass), pass
+}
+
+func fn(t *testing.T, pass *lint.Pass, name string) *types.Func {
+	t.Helper()
+	obj, ok := pass.Pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %s", name)
+	}
+	return obj
+}
+
+func TestAnnotatedAndReachability(t *testing.T) {
+	g, pass := build(t)
+	roots := g.Annotated("hotpath")
+	if len(roots) != 1 || roots[0].Name() != "Root" {
+		t.Fatalf("Annotated(hotpath) = %v, want [Root]", roots)
+	}
+	reach := g.Reachable(roots)
+	leaf := g.NodeOf(fn(t, pass, "Leaf"))
+	if leaf == nil {
+		t.Fatal("Leaf has no node")
+	}
+	if _, ok := reach[leaf]; !ok {
+		t.Fatal("Leaf not reachable from Root through the closure variable")
+	}
+	if unreached := g.NodeOf(fn(t, pass, "Unreached")); unreached == nil {
+		t.Fatal("Unreached has no node")
+	} else if _, ok := reach[unreached]; ok {
+		t.Fatal("Unreached should not be reachable from Root")
+	}
+	trace := g.Trace(reach, leaf)
+	if !strings.Contains(trace, "Root") || !strings.Contains(trace, "Leaf") {
+		t.Fatalf("Trace(Leaf) = %q, want Root ... Leaf provenance", trace)
+	}
+}
+
+func TestRetains(t *testing.T) {
+	g, pass := build(t)
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"Keep", true},  // stores its arg in a package variable
+		{"Relay", true}, // hands its arg to Keep, which retains it
+		{"Drop", false}, // only reads the length
+	}
+	for _, c := range cases {
+		node := g.NodeOf(fn(t, pass, c.name))
+		if node == nil {
+			t.Fatalf("no node for %s", c.name)
+		}
+		if got := g.Retains(node, 0); got != c.want {
+			t.Errorf("Retains(%s, 0) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// seedCalls collects every call to mk inside node as escape seeds.
+func seedCalls(g *flow.Graph, node *flow.Node) []ast.Expr {
+	var seeds []ast.Expr
+	flow.WalkOwn(node, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mk" {
+				seeds = append(seeds, call)
+			}
+		}
+		return true
+	})
+	return seeds
+}
+
+func TestEscapes(t *testing.T) {
+	g, pass := build(t)
+	esc := g.NodeOf(fn(t, pass, "Esc"))
+	sinks := g.Escapes(esc, seedCalls(g, esc), flow.EscapeOpts{})
+	var whats []string
+	for _, s := range sinks {
+		whats = append(whats, s.What)
+	}
+	joined := strings.Join(whats, "; ")
+	if !strings.Contains(joined, "global") {
+		t.Errorf("Esc sinks = %q, want a package-variable store on global", joined)
+	}
+	if !strings.Contains(joined, "returned") {
+		t.Errorf("Esc sinks = %q, want a return sink", joined)
+	}
+
+	noEsc := g.NodeOf(fn(t, pass, "NoEsc"))
+	if sinks := g.Escapes(noEsc, seedCalls(g, noEsc), flow.EscapeOpts{}); len(sinks) != 0 {
+		t.Errorf("NoEsc sinks = %v, want none (len() does not retain)", sinks)
+	}
+}

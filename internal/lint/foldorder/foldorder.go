@@ -1,0 +1,122 @@
+// Package foldorder enforces the in-order prefix-fold rule behind the
+// fleet's byte-identical reports: shard aggregates merge in strict
+// cell-index order regardless of worker count or steal schedule
+// (internal/fleet), so fold and merge functions must never let their
+// accumulation order depend on the scheduler.
+//
+// A fold function is one whose name contains merge, fold, reduce,
+// combine or accumulate (case-insensitive), or any function annotated
+// //vodlint:fold. Inside one, the analyzer flags the order-
+// nondeterministic drivers: select statements, channel receives
+// (including range over a channel), map iteration, and sync.Map.Range
+// — each makes the accumulator's value depend on goroutine timing or
+// map hash seeds. Ordered alternatives: fold completed shards from a
+// pending list indexed by position (fleet's prefix fold), or iterate
+// sorted keys (experiments' sortedKeys).
+package foldorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/flow"
+)
+
+// Analyzer flags scheduler- and hash-order-dependent accumulation
+// inside fold/merge functions.
+var Analyzer = &lint.Analyzer{
+	Name: "foldorder",
+	Doc: "flag select, channel receives, map iteration and sync.Map.Range inside " +
+		"fold/merge functions, whose accumulation order must be deterministic",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	g := flow.New(pass)
+	folds := g.Annotated("fold")
+	seen := map[*flow.Node]bool{}
+	for _, n := range folds {
+		seen[n] = true
+	}
+	for _, n := range g.Nodes {
+		if n.Decl != nil && !seen[n] && foldName(n.Decl.Name.Name) {
+			folds = append(folds, n)
+			seen[n] = true
+		}
+	}
+	for _, n := range folds {
+		checkFold(pass, n)
+	}
+	return nil
+}
+
+// foldName reports names that announce accumulation semantics.
+func foldName(name string) bool {
+	l := strings.ToLower(name)
+	for _, kw := range []string{"merge", "fold", "reduce", "combine", "accumulate"} {
+		if strings.Contains(l, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFold inspects one fold function's whole body, nested closures
+// included — a closure inside a fold is part of its accumulation
+// logic.
+func checkFold(pass *lint.Pass, node *flow.Node) {
+	name := node.Name()
+	ast.Inspect(node.Body(), func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectStmt:
+			pass.Reportf(e.Pos(),
+				"select in fold function %s makes accumulation order depend on channel readiness; fold completed work from an ordered pending list instead",
+				name)
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				pass.Reportf(e.Pos(),
+					"channel receive in fold function %s accumulates in scheduler order; fold completed work from an ordered pending list instead",
+					name)
+			}
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(e.X)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Chan:
+				pass.Reportf(e.Pos(),
+					"range over channel in fold function %s accumulates in scheduler order; fold completed work from an ordered pending list instead",
+					name)
+			case *types.Map:
+				pass.Reportf(e.Pos(),
+					"map iteration in fold function %s accumulates in randomised order; iterate sorted keys instead",
+					name)
+			}
+		case *ast.CallExpr:
+			if isSyncMapRange(pass.TypesInfo, e) {
+				pass.Reportf(e.Pos(),
+					"sync.Map.Range in fold function %s visits entries in nondeterministic order; use an ordered structure under a mutex instead",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// isSyncMapRange recognises calls of (*sync.Map).Range.
+func isSyncMapRange(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Range" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

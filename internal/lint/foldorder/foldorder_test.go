@@ -1,0 +1,12 @@
+package foldorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/foldorder"
+	"repro/internal/lint/linttest"
+)
+
+func TestFoldOrder(t *testing.T) {
+	linttest.Run(t, foldorder.Analyzer, "fold")
+}

@@ -1,0 +1,77 @@
+// Package fold exercises foldorder: functions whose names announce
+// accumulation (merge, fold, reduce, combine, accumulate) and one
+// annotated closure-style accumulator, against non-fold twins.
+package fold
+
+import "sync"
+
+type agg struct {
+	total  float64
+	counts map[string]int
+}
+
+// mergeChans drives its accumulator from channel readiness — the
+// exact shape the fleet's in-order prefix fold exists to avoid.
+func (a *agg) mergeChans(in chan float64, out chan bool) {
+	select { // want `select in fold function agg\.mergeChans`
+	case out <- true:
+	default:
+	}
+	a.total += <-in     // want `channel receive in fold function agg\.mergeChans`
+	for v := range in { // want `range over channel in fold function agg\.mergeChans`
+		a.total += v
+	}
+}
+
+// reduceCounts folds a map in hash order.
+func (a *agg) reduceCounts(src map[string]int) {
+	for k, v := range src { // want `map iteration in fold function agg\.reduceCounts`
+		a.counts[k] += v
+	}
+}
+
+// combineShared walks a sync.Map, whose Range order is arbitrary.
+func (a *agg) combineShared(m *sync.Map) {
+	m.Range(func(k, v interface{}) bool { // want `sync\.Map\.Range in fold function agg\.combineShared`
+		a.total += v.(float64)
+		return true
+	})
+}
+
+// mergeSlices is the blessed shape: positional iteration over
+// already-ordered inputs.
+func (a *agg) mergeSlices(parts [][]float64) {
+	for _, part := range parts {
+		for _, v := range part {
+			a.total += v
+		}
+	}
+}
+
+// collect is not a fold function by name; the same constructs pass.
+func collect(in chan float64) float64 {
+	var total float64
+	for v := range in {
+		total += v
+	}
+	return total
+}
+
+// tally opts in by annotation rather than name.
+//
+//vodlint:fold — order-sensitive accumulator
+func tally(in chan int) int {
+	return <-in // want `channel receive in fold function tally`
+}
+
+// mergeSorted iterates a map the sanctioned way — keys first, sorted
+// by the caller — and a suppressed violation shows the escape hatch.
+func (a *agg) mergeSorted(src map[string]int, keys []string) {
+	for _, k := range keys {
+		a.counts[k] += src[k]
+	}
+	for k, v := range src { //vodlint:allow foldorder — fixture: counting only, order-insensitive
+		_ = k
+		a.total += float64(v)
+	}
+}

@@ -1,0 +1,151 @@
+// Package goctx flags goroutines launched without a cancellation
+// path. A goroutine that neither consults a context, signals a
+// WaitGroup, waits on a channel, nor holds a semaphore slot has no
+// way to be stopped or awaited: it leaks across experiment runs,
+// keeps schedulers from draining, and — in the planned vodswarm load
+// generator — pins sockets past their session's end.
+//
+// Accepted lifecycle evidence, checked in the launched function body
+// (or one call deep into a same-package callee): any use of a
+// context.Context value, sync.WaitGroup.Done, errgroup-style
+// Acquire/Release on a semaphore, receiving from a channel (<-ch,
+// range over channel, select), or a context.Context argument at the
+// go statement itself. Test files are exempt: tests bound goroutine
+// lifetimes with the test's own lifecycle.
+package goctx
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/flow"
+)
+
+// Analyzer flags go statements with no cancellation or join path.
+var Analyzer = &lint.Analyzer{
+	Name: "goctx",
+	Doc: "flag goroutines launched without a cancellation path (no context, " +
+		"WaitGroup, channel signal, or semaphore)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	g := flow.New(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(gs.Pos()) || cancellable(pass, g, gs.Call) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine launched without a cancellation path (no context, WaitGroup, channel signal, or semaphore); it cannot be stopped or awaited")
+			return true
+		})
+	}
+	return nil
+}
+
+// cancellable reports whether the launched call carries lifecycle
+// evidence: a context argument, or a body (literal or same-package
+// callee) that consults one of the accepted mechanisms.
+func cancellable(pass *lint.Pass, g *flow.Graph, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isContext(pass.TypesInfo.TypeOf(arg)) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyHasLifecycle(pass.TypesInfo, lit.Body)
+	}
+	if node := g.CalleeNode(call); node != nil {
+		return bodyHasLifecycle(pass.TypesInfo, node.Body())
+	}
+	return false
+}
+
+// bodyHasLifecycle scans a function body for cancellation or join
+// evidence.
+func bodyHasLifecycle(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if isContext(info.TypeOf(e)) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isContext(info.TypeOf(e)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isLifecycleCall(info, e) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isLifecycleCall recognises sync.WaitGroup.Done and semaphore-style
+// Acquire/Release method calls.
+func isLifecycleCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Done":
+		return fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+	case "Acquire", "Release":
+		return true
+	}
+	return false
+}
+
+// isContext recognises the context.Context interface type.
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,12 @@
+package goctx_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/goctx"
+	"repro/internal/lint/linttest"
+)
+
+func TestGoCtx(t *testing.T) {
+	linttest.Run(t, goctx.Analyzer, "a")
+}

@@ -1,0 +1,102 @@
+// Package a exercises goctx: goroutines with and without a
+// cancellation or join path.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+type gate struct{}
+
+func (gate) Acquire() {}
+func (gate) Release() {}
+
+func leaks() {
+	go func() { // want `goroutine launched without a cancellation path`
+		for {
+			work()
+		}
+	}()
+}
+
+func leaksNamed() {
+	go spin() // want `goroutine launched without a cancellation path`
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func watchesContext(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func passesContext(ctx context.Context) {
+	go worker(ctx) // a context argument is lifecycle evidence even without the body
+}
+
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func joinsWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func watchesChannel(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func holdsSemaphore(g gate) {
+	g.Acquire()
+	go func() {
+		defer g.Release()
+		work()
+	}()
+}
+
+func namedWithBody(stop chan struct{}) {
+	go drain(stop) // drain's body receives: silent
+}
+
+func drain(stop chan struct{}) {
+	<-stop
+}
+
+func suppressed() {
+	//vodlint:allow goctx — fixture: process-lifetime background loop
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

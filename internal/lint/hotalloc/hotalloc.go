@@ -1,0 +1,221 @@
+// Package hotalloc enforces the no-allocation contract on functions
+// annotated //vodlint:hotpath and everything they reach within their
+// package: the lean-session event loop, the columnar svcCols fold,
+// simnet's water-filling and transfer bookkeeping, and the
+// work-stealing shard loop each run millions of times per fleet
+// report, so a single allocation per call dominates the profile
+// (ROADMAP PRs 3 and 6 bought their speedups by removing exactly
+// these).
+//
+// Within hot code the analyzer flags the constructs that allocate
+// unless pool-backed: &T{} composite literals, new, make (maps,
+// channels, slices), slice and map literals, append that does not
+// grow its own operand (x = append(x, ...) amortizes to zero;
+// anything else builds fresh backing arrays), fmt/errors/log calls
+// off the panic path, and interface boxing of non-pointer values at
+// cross-package call sites (pointers fit the interface word; a
+// same-package callee is itself analyzed). Free-list misses and other
+// deliberate cold-path allocations carry //vodlint:allow hotalloc
+// with a justification.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/flow"
+)
+
+// Analyzer flags allocation-inducing constructs reachable from
+// //vodlint:hotpath functions.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocations (composite literals, make, non-self append, fmt, " +
+		"interface boxing) reachable from //vodlint:hotpath functions",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	g := flow.New(pass)
+	roots := g.Annotated("hotpath")
+	if len(roots) == 0 {
+		return nil
+	}
+	reach := g.Reachable(roots)
+	for _, node := range g.Nodes {
+		if _, ok := reach[node]; ok {
+			checkNode(pass, g, node, reach)
+		}
+	}
+	return nil
+}
+
+func checkNode(pass *lint.Pass, g *flow.Graph, node *flow.Node, reach map[*flow.Node]*flow.Node) {
+	trace := g.Trace(reach, node)
+	report := func(n ast.Node, format string, args ...interface{}) {
+		args = append(args, trace)
+		pass.Reportf(n.Pos(), format+" on the hot path (%s)", args...)
+	}
+	reported := map[ast.Node]bool{}
+	flow.WalkOwn(node, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if b := builtinName(pass.TypesInfo, e); b != "" {
+				switch b {
+				case "panic":
+					return false // the panic path may format freely
+				case "new":
+					report(e, "new allocates")
+				case "make":
+					report(e, "%s allocates", types.ExprString(e))
+				case "append":
+					if !selfAppend(g, e) {
+						report(e, "append into a different slice allocates a fresh backing array")
+					}
+				}
+				return true
+			}
+			if reported[e] {
+				return true
+			}
+			if name := allocCallee(pass.TypesInfo, e); name != "" {
+				reported[e] = true
+				report(e, "call to %s allocates", name)
+				return true
+			}
+			checkBoxing(pass, g, e, report)
+		case *ast.UnaryExpr:
+			if lit, ok := isPointerLit(e); ok {
+				reported[lit] = true
+				report(e, "&%s literal allocates", litTypeString(pass.TypesInfo, lit))
+			}
+		case *ast.CompositeLit:
+			if reported[e] {
+				return true
+			}
+			switch pass.TypesInfo.TypeOf(e).Underlying().(type) {
+			case *types.Slice:
+				report(e, "slice literal allocates its backing array")
+			case *types.Map:
+				report(e, "map literal allocates")
+			}
+		}
+		return true
+	})
+}
+
+// selfAppend recognises the amortized-growth idiom x = append(x, ...)
+// (including x := append(x, ...)), which reuses x's backing array at
+// steady state.
+func selfAppend(g *flow.Graph, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	st, ok := g.Parent(call).(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	dst := types.ExprString(ast.Unparen(call.Args[0]))
+	for i, rhs := range st.Rhs {
+		if ast.Unparen(rhs) == call && i < len(st.Lhs) {
+			return types.ExprString(ast.Unparen(st.Lhs[i])) == dst
+		}
+	}
+	return false
+}
+
+// allocCallee names calls that allocate by construction: all of fmt
+// (formatting boxes and builds strings), errors.New, and log.
+func allocCallee(info *types.Info, call *ast.CallExpr) string {
+	pkg, name := lint.CalleePkgFunc(info, call)
+	switch pkg {
+	case "fmt", "errors", "log":
+		return pkg + "." + name
+	}
+	return ""
+}
+
+// checkBoxing flags non-pointer concrete values converted to
+// interface parameters of callees outside the package: the box
+// escapes with the call and heap-allocates. Pointer-shaped values
+// (pointers, maps, channels, funcs) fit the interface word; a
+// same-package callee is itself covered by this analyzer, and its
+// boxes stay on the stack unless it retains them.
+func checkBoxing(pass *lint.Pass, g *flow.Graph, call *ast.CallExpr, report func(ast.Node, string, ...interface{})) {
+	if g.CalleeNode(call) != nil {
+		return // same-package callee: analyzed on its own
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) || isUntypedNil(at) {
+			continue
+		}
+		report(arg, "%s boxes a %s into an interface argument", types.ExprString(arg), at.String())
+	}
+}
+
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isPointerLit(e *ast.UnaryExpr) (*ast.CompositeLit, bool) {
+	if e.Op != token.AND {
+		return nil, false
+	}
+	lit, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+	return lit, ok
+}
+
+func litTypeString(info *types.Info, lit *ast.CompositeLit) string {
+	if t := info.TypeOf(lit); t != nil {
+		s := t.String()
+		if i := strings.LastIndexByte(s, '/'); i >= 0 {
+			s = s[i+1:]
+		}
+		return s
+	}
+	return "composite"
+}
+
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

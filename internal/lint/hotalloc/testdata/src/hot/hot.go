@@ -1,0 +1,93 @@
+// Package hot exercises hotalloc: one annotated hot function, the
+// helpers it reaches, and a cold twin that proves the analyzer stays
+// scoped to //vodlint:hotpath code.
+package hot
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+type item struct {
+	v    int
+	next *item
+}
+
+type pool struct {
+	free []*item
+	out  []int
+	vals []int
+}
+
+func take(v interface{}) {} // same-package sink: boxing at its call sites is analyzed here, not at the caller
+
+var shared sync.Pool
+
+// hot is the annotated root; everything it reaches is checked.
+//
+//vodlint:hotpath — fixture event loop
+func (p *pool) hot(xs []int) {
+	p.out = p.out[:0]
+	p.out = append(p.out, xs...)            // self-append reuses the backing array: silent
+	tmp := append([]int(nil), xs...)        // want `append into a different slice allocates`
+	m := make(map[int]bool)                 // want `make\(map\[int\]bool\) allocates`
+	ch := make(chan int, 1)                 // want `make\(chan int, 1\) allocates`
+	s := fmt.Sprintf("%d", len(xs))         // want `call to fmt\.Sprintf allocates`
+	it := &item{v: 1}                       // want `&hot\.item literal allocates`
+	q := new(item)                          // want `new allocates`
+	lits := []int{1, 2, 3}                  // want `slice literal allocates its backing array`
+	sort.Slice(p.out, func(i, j int) bool { // want `p\.out boxes a \[\]int into an interface argument`
+		return p.out[i] < p.out[j]
+	})
+	take(len(xs))  // same-package callee: boxing analyzed in take, silent here
+	shared.Put(it) // pointer into interface fits the word: silent
+	shared.Put(s)  // want `s boxes a string into an interface argument`
+	p.reachedHelper()
+	_, _, _, _, _, _ = tmp, m, ch, it, q, lits
+	if len(xs) > 1<<20 {
+		panic(fmt.Sprintf("impossible fan-in %d", len(xs))) // panic path formats freely: silent
+	}
+}
+
+// reachedHelper is hot by reachability, not annotation.
+func (p *pool) reachedHelper() *item {
+	if n := len(p.free); n > 0 {
+		it := p.free[n-1]
+		p.free = p.free[:n-1]
+		return it
+	}
+	return &item{} // want `&hot\.item literal allocates`
+}
+
+// runner shows the literal-annotation form used for closures like
+// sched.RunStealing's worker body.
+func runner() {
+	//vodlint:hotpath — fixture worker closure
+	loop := func(n int) {
+		buf := make([]int, n) // want `make\(\[\]int, n\) allocates`
+		_ = buf
+	}
+	loop(4)
+}
+
+// cold repeats every violating construct without an annotation; the
+// analyzer must not say a word.
+func cold(xs []int) {
+	tmp := append([]int(nil), xs...)
+	m := make(map[int]bool)
+	s := fmt.Sprintf("%d", len(xs))
+	it := &item{}
+	_, _, _, _ = tmp, m, s, it
+}
+
+// allowedMiss shows the sanctioned escape hatch: a free-list miss
+// carrying a justified suppression.
+//
+//vodlint:hotpath — fixture pool refill
+func allowedMiss(p *pool) *item {
+	if len(p.free) == 0 {
+		return &item{} //vodlint:allow hotalloc — free-list miss, amortized over the pool's lifetime
+	}
+	return p.free[0]
+}

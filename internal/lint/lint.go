@@ -59,6 +59,7 @@ type Pass struct {
 
 	diags []Diagnostic
 	allow map[string]map[int]bool // filename -> line -> allowed
+	audit *Audit                  // non-nil when RunWithAudit tracks suppressions
 }
 
 // A Diagnostic is one finding.
@@ -99,10 +100,20 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 }
 
 // allowed reports whether an allow directive for this analyzer covers
-// the line or the line directly above it.
+// the line or the line directly above it, informing the audit of the
+// directive it used.
 func (p *Pass) allowed(pos token.Position) bool {
 	lines := p.allow[pos.Filename]
-	return lines[pos.Line] || lines[pos.Line-1]
+	ok := lines[pos.Line] || lines[pos.Line-1]
+	if ok && p.audit != nil {
+		if lines[pos.Line] {
+			p.audit.markUsed(pos.Filename, pos.Line, p.Analyzer.Name)
+		}
+		if lines[pos.Line-1] {
+			p.audit.markUsed(pos.Filename, pos.Line-1, p.Analyzer.Name)
+		}
+	}
+	return ok
 }
 
 // indexDirectives scans the files' comments for //vodlint:allow
@@ -159,6 +170,17 @@ func isIdent(s string) bool {
 // Run applies the analyzers to one type-checked package and returns
 // their findings sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithAudit(pkg, analyzers, nil)
+}
+
+// RunWithAudit is Run with suppression tracking: when audit is
+// non-nil, the package's allow directives are collected into it and
+// each suppression marks its directive as load-bearing, so the audit
+// can report the stale ones after the whole load.
+func RunWithAudit(pkg *Package, analyzers []*Analyzer, audit *Audit) ([]Diagnostic, error) {
+	if audit != nil {
+		audit.Collect(pkg)
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -168,6 +190,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:           pkg.Types,
 			TypesInfo:     pkg.Info,
 			TestFilesOnly: pkg.TestUnit,
+			audit:         audit,
 		}
 		pass.indexDirectives()
 		if err := a.Run(pass); err != nil {

@@ -1,0 +1,81 @@
+// Package stepalias enforces simnet's buffer-reuse contract: the
+// slice returned by Network.Step — and every *Transfer in it — is
+// valid only until the next Step or Recycle call, because the engine
+// reuses the completed-transfers scratch slice and returns recycled
+// transfers to a free list (internal/simnet).
+//
+// The analyzer taints each Step call's result and the values derived
+// from it (indexing, slicing, ranging) and reports wherever a tainted
+// value is retained beyond the calling frame: returned, stored in a
+// field, package or captured variable, appended to another slice,
+// sent on a channel, handed to a goroutine, or passed to a
+// same-package function that retains its argument. Reading fields of
+// a completed transfer (tr.Size, tr.Meta) and passing it to Recycle
+// are the intended uses and stay silent, as do calls whose callee the
+// tracker cannot see (cross-package, dynamic): the analysis
+// under-approximates so that every report is actionable.
+package stepalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/flow"
+)
+
+// Analyzer flags retention of Network.Step results past the frame
+// that obtained them.
+var Analyzer = &lint.Analyzer{
+	Name: "stepalias",
+	Doc: "flag code retaining the slice or *Transfer values returned by simnet " +
+		"Network.Step, which are only valid until the next Step or Recycle",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	g := flow.New(pass)
+	opts := flow.EscapeOpts{SafeCall: isRecycle}
+	for _, node := range g.Nodes {
+		var seeds []ast.Expr
+		flow.WalkOwn(node, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isStepCall(g, call) {
+				seeds = append(seeds, call)
+			}
+			return true
+		})
+		if len(seeds) == 0 {
+			continue
+		}
+		for _, s := range g.Escapes(node, seeds, opts) {
+			pass.Reportf(s.Pos,
+				"Network.Step result %s, but Step's returned slice and its transfers are reused by the next Step/Recycle; copy the data out instead",
+				s.What)
+		}
+	}
+	return nil
+}
+
+// isStepCall reports calls of the Step method of simnet.Network (the
+// facade's Network is a type alias, so its calls resolve here too).
+func isStepCall(g *flow.Graph, call *ast.CallExpr) bool {
+	return isNetworkMethod(g.StaticCallee(call), "Step")
+}
+
+func isRecycle(fn *types.Func) bool { return isNetworkMethod(fn, "Recycle") }
+
+func isNetworkMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Name() != "simnet" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Network"
+}

@@ -1,0 +1,12 @@
+package stepalias_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/stepalias"
+)
+
+func TestStepAlias(t *testing.T) {
+	linttest.Run(t, stepalias.Analyzer, "simnet")
+}

@@ -1,0 +1,123 @@
+// Package simnet stands in for the real engine: stepalias matches the
+// Step/Recycle methods of a Network type in a package named simnet,
+// so this fixture defines the minimal shape of that contract.
+package simnet
+
+// Transfer mirrors the pooled completion record: Recycle zeroes it
+// into a free list, so references must not outlive the next Step.
+type Transfer struct {
+	Size float64
+	Meta interface{}
+}
+
+// Network mirrors the engine: Step returns its reused scratch slice.
+type Network struct {
+	completed []*Transfer
+}
+
+// Step advances the clock and returns the completed transfers; the
+// slice and its elements are valid only until the next Step/Recycle.
+func (n *Network) Step(until float64) []*Transfer {
+	return n.completed
+}
+
+// Recycle returns a completed transfer to the free list.
+func (n *Network) Recycle(tr *Transfer) {}
+
+var (
+	last []*Transfer
+	keep *Transfer
+)
+
+type sampler struct {
+	done []*Transfer
+	ch   chan []*Transfer
+}
+
+func storesGlobal(n *Network) {
+	last = n.Step(1) // want `stored in package variable last`
+}
+
+func storesField(s *sampler, n *Network) {
+	s.done = n.Step(1) // want `stored in s\.done`
+}
+
+func returnsResult(n *Network) []*Transfer {
+	return n.Step(1) // want `Network\.Step result returned`
+}
+
+func retainsElement(n *Network) {
+	for _, tr := range n.Step(1) {
+		keep = tr // want `stored in package variable keep`
+	}
+}
+
+func appendsElsewhere(n *Network) int {
+	var all []*Transfer
+	for len(all) < 2 {
+		all = append(all, n.Step(1)...) // want `appended to all`
+	}
+	return len(all)
+}
+
+func sendsOnChannel(s *sampler, n *Network) {
+	s.ch <- n.Step(1) // want `sent on a channel`
+}
+
+func handsToGoroutine(n *Network) {
+	go consume(n.Step(1)) // want `passed to a goroutine`
+}
+
+func passesToRetainer(n *Network) {
+	hold(n.Step(1)) // want `passed to hold, which retains its argument`
+}
+
+// hold retains its argument in a package variable, so passing Step
+// results to it escapes them.
+func hold(ts []*Transfer) {
+	last = ts
+}
+
+// consume only reads; the goroutine hand-off above is the violation.
+func consume(ts []*Transfer) {
+	for _, tr := range ts {
+		_ = tr.Size
+	}
+}
+
+// drainAndRecycle is the intended shape: read fields, copy values
+// out, recycle, never retain the slice or its pointers.
+func drainAndRecycle(n *Network) float64 {
+	var total float64
+	var metas []interface{}
+	done := n.Step(1)
+	for _, tr := range done {
+		total += tr.Size
+		metas = append(metas, tr.Meta) // field copy, not the transfer
+		n.Recycle(tr)
+	}
+	_ = metas
+	return total
+}
+
+// countCompleted passes the result to a borrower: count never retains
+// its argument, so the tracker stays silent.
+func countCompleted(n *Network) int {
+	return count(n.Step(1))
+}
+
+func count(ts []*Transfer) int {
+	return len(ts)
+}
+
+// growsItself reuses the tainted slice as its own append target — an
+// alias-preserving grow inside the valid window, not an escape.
+func growsItself(n *Network) int {
+	done := n.Step(1)
+	done = append(done, nil)
+	return len(done)
+}
+
+func suppressed(n *Network) {
+	last = n.Step(1) //vodlint:allow stepalias — fixture: directive silences the finding
+}

@@ -68,6 +68,8 @@ func (g *Group) SetBackgroundObserver(fn func(*Background)) { g.bgObserver = fn 
 
 // Run drives every member to completion and returns the sessions'
 // results in the order they were added (nil when an observer is set).
+//
+//vodlint:hotpath — lean-session event loop: one iteration per completed transfer
 func (g *Group) Run() []*Result {
 	if len(g.sessions) == 0 && len(g.backgrounds) == 0 {
 		return nil
@@ -179,7 +181,7 @@ func (g *Group) Run() []*Result {
 	if g.observer != nil {
 		return nil
 	}
-	out := make([]*Result, len(g.sessions))
+	out := make([]*Result, len(g.sessions)) //vodlint:allow hotalloc — cold epilogue: runs once per group, only without an observer
 	for i, s := range g.sessions {
 		out[i] = s.res
 	}

@@ -147,6 +147,7 @@ func (s *Scheduler) RunStealing(ctx context.Context, n, workers int, opts StealO
 		cancel()
 	}
 
+	//vodlint:hotpath — work-stealing inner loop: pop/steal/run per shard
 	work := func(w int) {
 		own := &deques[w]
 		for ctx.Err() == nil {

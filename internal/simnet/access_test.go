@@ -108,11 +108,11 @@ func TestDialViaUnconstrainedMatchesDial(t *testing.T) {
 	}
 	plain, dPlain := run(false)
 	linked, dLinked := run(true)
-	if dPlain != dLinked { //vodlint:allow floateq — bit-identical equivalence is the contract under test
+	if dPlain != dLinked {
 		t.Fatalf("delivered differs: plain %v via %v", dPlain, dLinked)
 	}
 	for i := range plain {
-		if plain[i] != linked[i] { //vodlint:allow floateq — bit-identical equivalence is the contract under test
+		if plain[i] != linked[i] {
 			t.Fatalf("client %d differs: plain %v via %v", i, plain[i], linked[i])
 		}
 	}

@@ -218,6 +218,8 @@ func (c *Conn) Close() {
 // Start issues a request for size bytes on the connection. It panics if
 // the connection is busy or closed (a programming error in the caller's
 // scheduler — HTTP/1.1 carries one outstanding request per connection).
+//
+//vodlint:hotpath — per-request engine entry: one call per segment fetch
 func (c *Conn) Start(size float64, meta any) *Transfer {
 	if c.closed {
 		panic("simnet: Start on closed connection")
@@ -357,7 +359,7 @@ func (n *Network) newTransfer() *Transfer {
 		n.free = n.free[:k-1]
 		return tr
 	}
-	return &Transfer{pos: -1}
+	return &Transfer{pos: -1} //vodlint:allow hotalloc — free-list miss: bounded by peak concurrent transfers, then zero
 }
 
 // removeConn unlinks a closed connection in O(shift) using its stored
@@ -458,7 +460,12 @@ func (n *Network) promote() {
 // advances the clock.
 //
 // The returned slice is reused by the next Step call: consume (or copy)
-// it before stepping again, and do not append to it.
+// it before stepping again, and do not append to it. The stepalias
+// analyzer enforces that contract at call sites; hotalloc holds Step
+// itself (and everything it reaches) to the zero-allocation discipline
+// PR 3 bought.
+//
+//vodlint:hotpath — per-event engine core: runs once per transfer completion across million-session fleets
 func (n *Network) Step(until float64) []*Transfer {
 	if until < n.now {
 		panic(fmt.Sprintf("simnet: Step backwards from %v to %v", n.now, until))
@@ -610,6 +617,8 @@ const smallSortLen = 12
 // bit-identical rates (asserted by TestAllocateFastPathsMatchGeneral):
 // ascending effective cap, ties in connection order, with the same
 // sequential share arithmetic as the reference implementation.
+//
+//vodlint:hotpath — water-filling: runs on every flow-set change
 func (n *Network) allocate(capacity float64) {
 	flowing := n.flowing
 
@@ -667,7 +676,7 @@ func (n *Network) allocate(capacity float64) {
 			}
 		}
 	} else {
-		sort.Slice(items, func(i, j int) bool { return items[i].cap < items[j].cap })
+		sort.Slice(items, func(i, j int) bool { return items[i].cap < items[j].cap }) //vodlint:allow hotalloc — general path only: n > 16 flows on one link; the fast paths above stay allocation-free
 	}
 	remainingC := capacity
 	remainingN := len(items)
