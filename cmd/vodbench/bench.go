@@ -16,6 +16,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 	"regexp"
 	"runtime"
@@ -137,6 +139,42 @@ func substrateSpecs() ([]benchSpec, error) {
 
 	transferProfile := netem.Constant("c", 10e6, 1e6)
 
+	// simnet_fanin512 / simnet_fanin512_scan: 512 concurrent flows
+	// through one shared profile — the flash-crowd fan-in regime. The
+	// first runs the virtual-time engine (what EngineAuto picks at this
+	// population), the second forces the O(F)-scan engine; the pair
+	// locks in the vtime speedup and catches either engine regressing.
+	fanIn512 := func(engine simnet.Engine) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := simnet.DefaultConfig()
+			cfg.Engine = engine
+			n := simnet.New(cfg, netem.Constant("edge", 200e6, 1000))
+			conns := make([]*simnet.Conn, 512)
+			for i := range conns {
+				conns[i] = n.Dial()
+			}
+			rng := rand.New(rand.NewSource(1))
+			sizes := make([]float64, len(conns))
+			for i := range sizes {
+				sizes[i] = math.Round(rng.Float64()*2e6) + 1e5
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, c := range conns {
+					c.Start(sizes[j], nil)
+				}
+				for delivered := 0; delivered < len(conns); {
+					done := n.Step(1e12)
+					delivered += len(done)
+					for _, tr := range done {
+						n.Recycle(tr)
+					}
+				}
+			}
+		}
+	}
+
 	// report_cold / report_cached: one full report regeneration per
 	// iteration through the session cache — cold resets the in-memory
 	// tier first (every session computed), cached pre-warms it once
@@ -186,6 +224,8 @@ func substrateSpecs() ([]benchSpec, error) {
 				}
 			}
 		}},
+		{"substrate/simnet_fanin512", "substrate", fanIn512(simnet.EngineVTime)},
+		{"substrate/simnet_fanin512_scan", "substrate", fanIn512(simnet.EngineScan)},
 		{"substrate/live_session", "substrate", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -201,6 +241,20 @@ func substrateSpecs() ([]benchSpec, error) {
 		// BenchmarkFleet1k).
 		{"substrate/fleet_1k", "substrate", func(b *testing.B) {
 			cfg := fleet.Config{Seed: 1, Sessions: 1000}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(context.Background(), cfg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// fleet_hotspot: a 100k-session flash crowd with 80% of arrivals
+		// concentrated on cell 0 (2% full fidelity), serial. This is the
+		// high-fan-in fleet gate: cell 0 carries tens of thousands of
+		// concurrent flows, so it regresses hard if the vtime engine or
+		// the auto-switch hysteresis stops doing its job.
+		{"substrate/fleet_hotspot", "substrate", func(b *testing.B) {
+			cfg := fleet.Config{Seed: 1, Sessions: 100_000, Hotspot: 0.8, FidelityFull: 0.02}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := fleet.Run(context.Background(), cfg, 1); err != nil {

@@ -10,6 +10,7 @@
 //	vodfleet -sessions 10000 -seed 1
 //	vodfleet -sessions 2000 -services H1,D2,S1 -edge-mbps 25
 //	vodfleet -sessions 10000 -seed 1 -workers 8 -json report.json
+//	vodfleet -sessions 100000 -hotspot 0.8 -fidelity 0.02 -cpuprofile cpu.pprof
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -39,6 +41,9 @@ func main() {
 	edgeMbps := flag.Float64("edge-mbps", 0, "shared edge budget per cell in Mbit/s (0 = default 40)")
 	fidelity := flag.Float64("fidelity", 0, "fraction of sessions at full player fidelity (0 = default 1, negative = all background tier)")
 	focus := flag.Int("focus", 0, "retain full per-session records for this many seeded focus members")
+	hotspot := flag.Float64("hotspot", 0, "fraction of the population concentrated on cell 0 (flash crowd; 0 = balanced cells)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	memCeiling := flag.Int("memceiling-mb", 0, "fail if live heap exceeds this many MiB during the run (0 = no ceiling)")
 	svcList := flag.String("services", "", "comma-separated service mix (empty = all 12; repeats weight the mix)")
 	jsonOut := flag.String("json", "", "write the full JSON report to this file (- for stdout)")
@@ -59,6 +64,7 @@ func main() {
 		EdgeMbps:         *edgeMbps,
 		FidelityFull:     *fidelity,
 		FocusSessions:    *focus,
+		Hotspot:          *hotspot,
 	}
 	if *svcList != "" {
 		for _, s := range strings.Split(*svcList, ",") {
@@ -91,6 +97,36 @@ func main() {
 			}
 		}()
 	}
+
+	// Profiling passthrough (same contract as vodbench) so hotspot runs
+	// can be profiled directly. Fatal error paths skip the writes — the
+	// profiles only matter for runs that complete.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("vodfleet: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("vodfleet: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vodfleet: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vodfleet: %v\n", err)
+		}
+	}()
 
 	run := fleet.RunCached
 	if *noCache {

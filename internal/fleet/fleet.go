@@ -109,6 +109,13 @@ type Config struct {
 	// members are drawn from the seed; members that land on the
 	// background tier are skipped. Default 0.
 	FocusSessions int
+	// Hotspot concentrates a fraction of the population on cell 0 — the
+	// flash-crowd scenario (live-event premiere, cache-cold region)
+	// where hundreds-to-thousands of flows share one edge link. The
+	// remaining sessions are dealt round-robin across balanced cells as
+	// usual. Zero keeps the fully balanced layout; clamped to [0, 0.95]
+	// so the balanced remainder never vanishes entirely.
+	Hotspot float64
 	// Services is the session mix: each session draws uniformly from
 	// this list (paper names, e.g. "H1"; duplicates weight the mix).
 	// Empty means all 12 service models.
@@ -154,6 +161,12 @@ func (c Config) Normalized() (Config, error) {
 	}
 	if c.FocusSessions < 0 {
 		c.FocusSessions = 0
+	}
+	switch {
+	case c.Hotspot < 0:
+		c.Hotspot = 0
+	case c.Hotspot > 0.95:
+		c.Hotspot = 0.95
 	}
 	if len(c.Services) == 0 {
 		all := services.All()
@@ -204,17 +217,44 @@ func cellSeed(seed int64, cell int) int64 {
 	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(cell)))
 }
 
-// cellCount returns the number of cells for a normalized config.
+// hotSize is the population share pinned to cell 0 under a hotspot
+// layout: round(Hotspot · Sessions), never exceeding the population.
+func hotSize(cfg Config) int {
+	h := int(math.Round(cfg.Hotspot * float64(cfg.Sessions)))
+	if h > cfg.Sessions {
+		h = cfg.Sessions
+	}
+	return h
+}
+
+// cellCount returns the number of cells for a normalized config. With a
+// hotspot, cell 0 carries the concentrated share and the remainder
+// spreads over balanced cells of at most ClientsPerCell members.
 func cellCount(cfg Config) int {
+	if cfg.Hotspot > 0 {
+		rest := cfg.Sessions - hotSize(cfg)
+		return 1 + (rest+cfg.ClientsPerCell-1)/cfg.ClientsPerCell
+	}
 	return (cfg.Sessions + cfg.ClientsPerCell - 1) / cfg.ClientsPerCell
 }
 
-// cellSize returns cell k's member count: sessions are dealt round-robin
-// across cells, so cell k holds the indices ≡ k (mod nCells).
+// cellSize returns cell k's member count. Without a hotspot, sessions
+// are dealt round-robin across cells (cell k holds the indices ≡ k mod
+// nCells); with one, cell 0 holds the hot share and the rest deal
+// round-robin across the remaining cells. Hotspot == 0 reproduces the
+// legacy layout exactly, cell for cell.
 func cellSize(cfg Config, k int) int {
 	n := cellCount(cfg)
 	if k < 0 || k >= n {
 		return 0
+	}
+	if cfg.Hotspot > 0 {
+		hot := hotSize(cfg)
+		if k == 0 {
+			return hot
+		}
+		rest, m := cfg.Sessions-hot, n-1
+		return (rest - (k - 1) + m - 1) / m
 	}
 	return (cfg.Sessions - k + n - 1) / n
 }

@@ -87,6 +87,60 @@ func TestWorkloadDeterminism(t *testing.T) {
 	}
 }
 
+// TestHotspotLayout pins the flash-crowd partitioning: cell 0 carries
+// round(Hotspot·Sessions) members, the remainder spreads over balanced
+// cells, sizes always sum to the population, and Hotspot = 0 reproduces
+// the legacy layout cell for cell.
+func TestHotspotLayout(t *testing.T) {
+	for _, tc := range []struct {
+		sessions int
+		hotspot  float64
+		hot      int
+	}{
+		{1000, 0.8, 800},
+		{1000, 0.5, 500},
+		{25, 0.95, 24},
+		{7, 0.99, 7}, // clamped to 0.95 → round(6.65)
+		{100, 1.0, 95},
+	} {
+		cfg, err := Config{Seed: 1, Sessions: tc.sessions, Hotspot: tc.hotspot}.Normalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cellSize(cfg, 0); got != tc.hot {
+			t.Errorf("Sessions=%d Hotspot=%v: cell 0 holds %d, want %d", tc.sessions, tc.hotspot, got, tc.hot)
+		}
+		total := 0
+		for k := 0; k < cellCount(cfg); k++ {
+			sz := cellSize(cfg, k)
+			if k > 0 && sz > cfg.ClientsPerCell {
+				t.Errorf("Sessions=%d Hotspot=%v: balanced cell %d holds %d > ClientsPerCell %d",
+					tc.sessions, tc.hotspot, k, sz, cfg.ClientsPerCell)
+			}
+			total += sz
+		}
+		if total != tc.sessions {
+			t.Errorf("Sessions=%d Hotspot=%v: cell sizes sum to %d", tc.sessions, tc.hotspot, total)
+		}
+		if len(Workload(cfg)) != tc.sessions {
+			t.Errorf("Sessions=%d Hotspot=%v: workload size mismatch", tc.sessions, tc.hotspot)
+		}
+	}
+	// Hotspot == 0 must leave the legacy layout untouched.
+	legacy, err := Config{Seed: 2, Sessions: 100}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cellCount(legacy); n != 5 {
+		t.Fatalf("legacy cell count %d, want 5", n)
+	}
+	for k := 0; k < 5; k++ {
+		if sz := cellSize(legacy, k); sz != 20 {
+			t.Fatalf("legacy cell %d size %d, want 20", k, sz)
+		}
+	}
+}
+
 // TestWorkloadFidelityMix checks the fidelity draw tracks the configured
 // probability and stays inside each cell's private stream.
 func TestWorkloadFidelityMix(t *testing.T) {
@@ -168,6 +222,26 @@ func TestStealScheduleDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(base, noSteal) {
 		t.Fatalf("steal-free schedule changed the report bytes (%d B vs %d B)", len(base), len(noSteal))
+	}
+
+	// The hotspot layout piles most of the population onto cell 0 — the
+	// flash-crowd regime where the simnet core runs its virtual-time
+	// engine. The same byte-identity must hold across workers and steal
+	// schedules there too: one crowded cell is still a pure function of
+	// (config, cell index), just a slower one.
+	hotCfg := Config{
+		Seed: 7, Sessions: 400, ArrivalWindowSec: 60, WatchSec: 30,
+		ClientsPerCell: 4, FidelityFull: 0.3, Hotspot: 0.6,
+		Services: []string{"H1", "D2", "S1"},
+	}
+	hbase := fleetBytes(t, hotCfg, RunOptions{Workers: 1})
+	hhog := fleetBytes(t, hotCfg, RunOptions{Workers: 4, Steal: schedpkg.StealOptions{Hog: true}})
+	hnoSteal := fleetBytes(t, hotCfg, RunOptions{Workers: 4, Steal: schedpkg.StealOptions{DisableSteal: true}})
+	if !bytes.Equal(hbase, hhog) {
+		t.Fatalf("hotspot: steal-heavy schedule changed the report bytes (%d B vs %d B)", len(hbase), len(hhog))
+	}
+	if !bytes.Equal(hbase, hnoSteal) {
+		t.Fatalf("hotspot: steal-free schedule changed the report bytes (%d B vs %d B)", len(hbase), len(hnoSteal))
 	}
 }
 

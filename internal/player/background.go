@@ -100,6 +100,10 @@ type Background struct {
 	prevTrack  int
 	totalBytes float64
 	sum        Summary
+
+	// gidx is the flow's member id in the Group run driving it (set by
+	// Group.Run): completed transfers wake their owner by id.
+	gidx int
 }
 
 // NewBackground builds a background flow over the shared network. Add

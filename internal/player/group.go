@@ -66,101 +66,291 @@ func (g *Group) SetObserver(fn func(*Session, *Result)) { g.observer = fn }
 // flow as it finishes.
 func (g *Group) SetBackgroundObserver(fn func(*Background)) { g.bgObserver = fn }
 
+// groupHeap is an indexed min-heap of member ids keyed by each member's
+// next wake time. pos maps a member id to its heap slot (-1 when
+// absent), so re-keying a woken member is O(log M) without searching.
+type groupHeap struct {
+	key []float64
+	id  []int
+	pos []int
+}
+
+func (h *groupHeap) init(m int) {
+	h.key = make([]float64, 0, m) //vodlint:allow hotalloc — per-run heap storage, amortized over the whole group run
+	h.id = make([]int, 0, m)      //vodlint:allow hotalloc — per-run heap storage, amortized over the whole group run
+	h.pos = make([]int, m)        //vodlint:allow hotalloc — per-run heap storage, amortized over the whole group run
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
+func (h *groupHeap) len() int { return len(h.key) }
+
+// minKey returns the earliest wake time, or +Inf when the heap is empty.
+func (h *groupHeap) minKey() float64 {
+	if len(h.key) == 0 {
+		return math.Inf(1)
+	}
+	return h.key[0]
+}
+
+func (h *groupHeap) popMin() int {
+	id := h.id[0]
+	h.removeAt(0)
+	return id
+}
+
+// set inserts id with key k, or re-keys it if already present.
+func (h *groupHeap) set(id int, k float64) {
+	if i := h.pos[id]; i >= 0 {
+		h.key[i] = k
+		if !h.up(i) {
+			h.down(i)
+		}
+		return
+	}
+	h.key = append(h.key, k)
+	h.id = append(h.id, id)
+	h.pos[id] = len(h.key) - 1
+	h.up(len(h.key) - 1)
+}
+
+// remove drops id if present (no-op otherwise).
+func (h *groupHeap) remove(id int) {
+	if i := h.pos[id]; i >= 0 {
+		h.removeAt(i)
+	}
+}
+
+func (h *groupHeap) removeAt(i int) {
+	last := len(h.key) - 1
+	h.pos[h.id[i]] = -1
+	if i != last {
+		h.key[i] = h.key[last]
+		h.id[i] = h.id[last]
+		h.pos[h.id[i]] = i
+	}
+	h.key = h.key[:last]
+	h.id = h.id[:last]
+	if i != last {
+		if !h.up(i) {
+			h.down(i)
+		}
+	}
+}
+
+func (h *groupHeap) up(i int) bool {
+	moved := false
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.key[p] <= h.key[i] {
+			break
+		}
+		h.swap(p, i)
+		i = p
+		moved = true
+	}
+	return moved
+}
+
+func (h *groupHeap) down(i int) {
+	n := len(h.key)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.key[r] < h.key[l] {
+			m = r
+		}
+		if h.key[i] <= h.key[m] {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+func (h *groupHeap) swap(i, j int) {
+	h.key[i], h.key[j] = h.key[j], h.key[i]
+	h.id[i], h.id[j] = h.id[j], h.id[i]
+	h.pos[h.id[i]] = i
+	h.pos[h.id[j]] = j
+}
+
 // Run drives every member to completion and returns the sessions'
 // results in the order they were added (nil when an observer is set).
 //
+// The loop is lazy: instead of scanning and advancing every member on
+// every event (O(M) per completed transfer, O(M²) per busy interval),
+// members park in a deadline heap keyed by their own nextDeadline — an
+// absolute prediction of the next time their control state can change
+// without one of their downloads completing — and each iteration
+// services only the woken set: members whose deadline arrived plus the
+// owners of the transfers the network just completed. Everything a
+// member does (playback advance, sample ticks, completion handling,
+// request issue) happens at the same virtual times, in the same add
+// order, as the eager scan produced; a single-member group degenerates
+// to the exact eager call sequence, so Session.Run is unchanged
+// observable-for-observable.
+//
 //vodlint:hotpath — lean-session event loop: one iteration per completed transfer
 func (g *Group) Run() []*Result {
-	if len(g.sessions) == 0 && len(g.backgrounds) == 0 {
+	nS := len(g.sessions)
+	nM := nS + len(g.backgrounds)
+	if nM == 0 {
 		return nil
 	}
 	net := g.net
+	// Member ids: sessions in add order, then backgrounds in add order,
+	// so ascending id is exactly the eager scan order.
+	for i, s := range g.sessions {
+		s.gidx = i
+	}
+	for j, b := range g.backgrounds {
+		b.gidx = nS + j
+	}
+	var h groupHeap
+	h.init(nM)
+	woken := make([]bool, nM)  //vodlint:allow hotalloc — per-run wake flags, amortized over the whole group run
+	wake := make([]int, 0, nM) //vodlint:allow hotalloc — per-run wake list, amortized over the whole group run
+	addWake := func(id int) {
+		if !woken[id] {
+			woken[id] = true
+			wake = append(wake, id)
+		}
+	}
+	for id := 0; id < nM; id++ {
+		addWake(id) // first round: everyone is serviced once
+	}
+	remaining := nM
 	for {
+		// Service the woken members in add order: finish members past
+		// their end, keep unarrived members parked at their start, and
+		// let the rest issue requests and re-key their next deadline.
+		// Every live member always holds a key ≤ its (finite) endAt.
 		now := net.Now()
-		allDone := true
-		deadline := math.Inf(1)
-		inflight := 0
-		for _, s := range g.sessions {
-			if s.done {
-				continue
-			}
-			if now < s.startAt-eps {
-				// Not yet arrived: keep the run alive and make sure the
-				// clock steps to the arrival, but issue nothing.
-				allDone = false
-				if s.startAt < deadline {
-					deadline = s.startAt
+		for _, id := range wake {
+			woken[id] = false
+			if id < nS {
+				s := g.sessions[id]
+				if s.done {
+					continue
 				}
-				continue
-			}
-			if now >= s.endAt()-eps || s.finished {
-				g.finish(s)
-				continue
-			}
-			allDone = false
-			s.issueRequests()
-			if d := s.nextDeadline(); d < deadline {
-				deadline = d
-			}
-			if e := s.endAt(); e < deadline {
-				deadline = e
-			}
-			inflight += s.inflight
-		}
-		for _, b := range g.backgrounds {
-			if b.done {
-				continue
-			}
-			if now < b.startAt-eps {
-				allDone = false
-				if b.startAt < deadline {
-					deadline = b.startAt
+				if now < s.startAt-eps {
+					h.set(id, s.startAt)
+					continue
 				}
-				continue
+				if now >= s.endAt()-eps || s.finished {
+					g.finish(s)
+					h.remove(id)
+					remaining--
+					continue
+				}
+				s.issueRequests()
+				d := s.nextDeadline()
+				if e := s.endAt(); e < d {
+					d = e
+				}
+				h.set(id, d)
+			} else {
+				b := g.backgrounds[id-nS]
+				if b.done {
+					continue
+				}
+				if now < b.startAt-eps {
+					h.set(id, b.startAt)
+					continue
+				}
+				if now >= b.endAt()-eps || b.finished {
+					g.finishBackground(b)
+					h.remove(id)
+					remaining--
+					continue
+				}
+				b.issueRequests()
+				d := b.nextDeadline(now)
+				if e := b.endAt(); e < d {
+					d = e
+				}
+				h.set(id, d)
 			}
-			if now >= b.endAt()-eps || b.finished {
-				g.finishBackground(b)
-				continue
-			}
-			allDone = false
-			b.issueRequests()
-			if d := b.nextDeadline(now); d < deadline {
-				deadline = d
-			}
-			if e := b.endAt(); e < deadline {
-				deadline = e
-			}
-			inflight += b.inflight
 		}
-		if allDone {
+		wake = wake[:0]
+		if remaining == 0 {
 			break
 		}
-		if inflight == 0 && math.IsInf(deadline, 1) {
+		target := h.minKey()
+		if math.IsInf(target, 1) {
+			// Defensive: no timed wakeups left. With nothing in flight no
+			// event can ever arrive — finish everyone at the current time.
+			inflight := 0
 			for _, s := range g.sessions {
 				if !s.done {
-					g.finish(s)
+					inflight += s.inflight
 				}
 			}
 			for _, b := range g.backgrounds {
 				if !b.done {
-					g.finishBackground(b)
+					inflight += b.inflight
 				}
 			}
-			break
+			if inflight == 0 {
+				for _, s := range g.sessions {
+					if !s.done {
+						g.finish(s)
+					}
+				}
+				for _, b := range g.backgrounds {
+					if !b.done {
+						g.finishBackground(b)
+					}
+				}
+				break
+			}
 		}
-		target := deadline
 		if target <= now+eps {
 			target = now + 1e-6
 		}
 		completed := net.Step(target)
-		for _, s := range g.sessions {
-			if !s.done {
-				s.advancePlayback(net.Now())
+		tnow := net.Now()
+		// Wake the members that are due at the new time plus the owners
+		// of the completed transfers, then sort so the wake list is in
+		// add order (insertion sort: batches are tiny and nearly sorted).
+		for h.len() > 0 && h.minKey() <= tnow+eps {
+			addWake(h.popMin())
+		}
+		for _, tr := range completed {
+			switch m := tr.Meta.(type) {
+			case *reqMeta:
+				if m.owner != nil && !m.owner.done {
+					addWake(m.owner.gidx)
+				}
+			case *Background:
+				if !m.done {
+					addWake(m.gidx)
+				}
 			}
 		}
-		for _, b := range g.backgrounds {
-			if !b.done {
-				b.advancePlayback(net.Now())
+		for i := 1; i < len(wake); i++ {
+			for j := i; j > 0 && wake[j] < wake[j-1]; j-- {
+				wake[j], wake[j-1] = wake[j-1], wake[j]
+			}
+		}
+		// Sync the woken members' playback to the clock, then dispatch
+		// completions in batch order — the same advance-then-complete
+		// order the eager loop used. Parked members advance later, at
+		// their next wake: advancePlayback is subdivision-invariant, and
+		// their deadline keys are absolute times that stay valid while
+		// their control state is untouched.
+		for _, id := range wake {
+			if id < nS {
+				if s := g.sessions[id]; !s.done {
+					s.advancePlayback(tnow)
+				}
+			} else if b := g.backgrounds[id-nS]; !b.done {
+				b.advancePlayback(tnow)
 			}
 		}
 		for _, tr := range completed {

@@ -90,6 +90,10 @@ type Session struct {
 
 	lean bool
 	res  *Result
+
+	// gidx is the session's member id in the Group run driving it (set
+	// by Group.Run): completed transfers wake their owner by id.
+	gidx int
 }
 
 type docReq struct {

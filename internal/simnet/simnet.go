@@ -71,7 +71,40 @@ type Config struct {
 	// about sub-segment split points becomes visible: a work-conserving
 	// shared link alone makes split points irrelevant.
 	ConnCapSequence []float64
+	// Engine selects the Step event engine (see the Engine constants).
+	// The zero value, EngineAuto, picks per flow count.
+	Engine Engine
 }
+
+// Engine selects Network.Step's event engine.
+type Engine int
+
+const (
+	// EngineAuto switches on flow count: the O(F)-scan engine below
+	// vtimeEnter flowing transfers, the O(log F) virtual-time engine at
+	// or above it, with hysteresis (vtimeExit) so workloads hovering
+	// near the threshold don't thrash between engines. Every workload
+	// that stays below the threshold is bit-identical to EngineScan.
+	EngineAuto Engine = iota
+	// EngineScan forces the incremental scan engine: O(F) per event,
+	// bit-identical to the PR 3 reference formulation.
+	EngineScan
+	// EngineVTime forces the virtual-service-time (fair-queuing) engine:
+	// O(log F) per event, equivalent to EngineScan up to float
+	// accumulation order (see the differential tests).
+	EngineVTime
+)
+
+const (
+	// vtimeEnter is the flowing-transfer count at which EngineAuto
+	// switches to the virtual-time engine. High enough that every
+	// experiment workload (≤ a dozen concurrent flows) stays on the
+	// bit-exact scan engine.
+	vtimeEnter = 40
+	// vtimeExit is the active-flow count at which EngineAuto switches
+	// back to the scan engine.
+	vtimeExit = 12
+)
 
 func (c Config) withDefaults() Config {
 	if c.RTT <= 0 {
@@ -117,13 +150,52 @@ type Transfer struct {
 	remaining float64
 	rate      float64 // last allocated rate, bytes/s (for inspection)
 	pos       int     // index in Network.flowing; -1 while not flowing
+
+	// Virtual-time engine state (see vtime.go). While attached to the
+	// vtime engine (vClass != vNone), remaining and rate above are stale:
+	// progress lives in the (vAnchor, vRem, vCap) triple and is
+	// materialized lazily on completion, removal, or observer read.
+	vClass  uint8   // vNone, vUnc (uncapped) or vCapd (capped)
+	vCap    float64 // capped-class service rate, bytes/s
+	vRem    float64 // remaining bytes at the last anchor
+	vAnchor float64 // anchor: V at last re-anchor (uncapped) or wall time (capped)
+	hFin    int     // position in vtimeState.uncFin/capFin; -1 outside
+	hCap    int     // position in vtimeState.uncCap/capCap; -1 outside
+	hPend   int     // position in Network.pendHeap; -1 outside
+	accPos  int     // position in Conn.access.members; -1 while not attached
 }
 
-// Remaining returns the bytes not yet delivered.
-func (t *Transfer) Remaining() float64 { return t.remaining }
+// Remaining returns the bytes not yet delivered, as of the last engine
+// event. Flows attached to the virtual-time engine materialize the
+// value on demand from their service anchor.
+func (t *Transfer) Remaining() float64 {
+	switch t.vClass {
+	case vUnc:
+		if r := t.vRem - (t.Conn.net.v.vNow - t.vAnchor); r > 0 {
+			return r
+		}
+		return 0
+	case vCapd:
+		if r := t.vRem - t.vCap*(t.Conn.net.now-t.vAnchor); r > 0 {
+			return r
+		}
+		return 0
+	}
+	return t.remaining
+}
 
 // Rate returns the most recently allocated delivery rate in bytes/s.
-func (t *Transfer) Rate() float64 { return t.rate }
+// Under the virtual-time engine an uncapped flow's rate is the shared
+// equal-share slope; a capped flow's is its cap.
+func (t *Transfer) Rate() float64 {
+	switch t.vClass {
+	case vUnc:
+		return t.Conn.net.v.slope
+	case vCapd:
+		return t.vCap
+	}
+	return t.rate
+}
 
 // Throughput returns the achieved goodput in bits/s over the whole
 // request/response exchange, including latency — this is what a client's
@@ -154,6 +226,10 @@ type AccessLink struct {
 	profile *netem.Profile
 	rateBps float64 // profile sample at the last refresh (bits/s)
 	flows   int     // flowing transfers currently carried by the link
+
+	members []*Transfer // the flowing transfers themselves (len == flows)
+	lpos    int         // position in Network.links while flows > 0; -1 outside
+	hBound  int         // position in vtimeState.bound; -1 outside
 }
 
 // Profile returns the bandwidth profile driving the link.
@@ -171,6 +247,8 @@ type Conn struct {
 	lastActive  float64 // completion time of the last transfer
 	cur         *Transfer
 	idx         int // position in Network.conns; -1 once removed
+	seq         int // dial sequence number; immutable, orders the flowing set
+	hGrow       int // position in vtimeState.grow; -1 outside
 }
 
 // Busy reports whether a transfer is in flight on the connection.
@@ -209,8 +287,12 @@ func (c *Conn) Close() {
 	}
 	c.closed = true
 	if tr := c.cur; tr != nil {
-		c.net.removeFlowing(tr)
-		c.net.removePending(tr)
+		if tr.vClass != vNone {
+			c.net.v.abandon(c.net, tr)
+		} else {
+			c.net.removeFlowing(tr)
+			c.net.removePending(tr)
+		}
 	}
 	c.net.removeConn(c)
 }
@@ -252,7 +334,7 @@ func (c *Conn) Start(size float64, meta any) *Transfer {
 	c.nextGrow = tr.FlowAt + cfg.RTT
 	// Latency is always positive, so a new transfer starts pending and
 	// joins the flowing set once the clock reaches FlowAt.
-	c.net.pending = append(c.net.pending, tr)
+	c.net.pendHeap.Push(tr, tr.FlowAt)
 	return tr
 }
 
@@ -268,12 +350,18 @@ type Network struct {
 	delivered float64 // total bytes delivered (for conservation checks)
 
 	// Incrementally maintained transfer sets (see the package comment).
-	flowing []*Transfer // first byte arrived, ordered by Conn.idx (dial order)
-	pending []*Transfer // latency not yet elapsed; unordered
+	flowing  []*Transfer    // first byte arrived, ordered by Conn.seq (dial order)
+	pendHeap fheap[Transfer] // latency not yet elapsed, keyed by FlowAt
+	links    []*AccessLink   // access links with at least one flowing transfer
 	// Water-filling memo: rates stored on the flowing transfers stay
 	// valid until the flowing set, a cap, or the capacity changes.
 	allocDirty   bool
 	lastCapacity float64
+
+	// Virtual-time engine (vtime.go); vmode reports which engine owns
+	// the live flows right now.
+	v     *vtimeState
+	vmode bool
 
 	items     []capItem   // scratch for allocate
 	completed []*Transfer // scratch returned by Step; valid until the next Step
@@ -289,6 +377,7 @@ type capItem struct {
 func New(cfg Config, p *netem.Profile) *Network {
 	cfg = cfg.withDefaults()
 	n := &Network{cfg: cfg, profile: p, cursor: p.Cursor()}
+	n.pendHeap.set = func(tr *Transfer, i int) { tr.hPend = i }
 	// Once a connection's cap exceeds twice the link's peak rate it can
 	// never be the bottleneck again; stop generating doubling events.
 	n.steadyCap = 2 * p.Max() / 8
@@ -308,11 +397,22 @@ func (n *Network) Config() Config { return n.cfg }
 func (n *Network) Profile() *netem.Profile { return n.profile }
 
 // Delivered returns the total bytes delivered so far (all transfers).
-func (n *Network) Delivered() float64 { return n.delivered }
+// Under the virtual-time engine the un-materialized service of every
+// attached flow is folded in from the aggregate anchors in O(1).
+func (n *Network) Delivered() float64 {
+	if n.vmode {
+		return n.v.deliveredAt(n)
+	}
+	return n.delivered
+}
+
+// VTimeActive reports whether the virtual-time engine currently owns
+// the live flows (exported for tests and benchmarks).
+func (n *Network) VTimeActive() bool { return n.vmode }
 
 // Dial creates a new, not-yet-established connection.
 func (n *Network) Dial() *Conn {
-	c := &Conn{net: n, capBps: math.Inf(1), staticCap: math.Inf(1), idx: len(n.conns)}
+	c := &Conn{net: n, capBps: math.Inf(1), staticCap: math.Inf(1), idx: len(n.conns), seq: n.dialed, hGrow: -1}
 	if seq := n.cfg.ConnCapSequence; len(seq) > 0 {
 		c.staticCap = seq[n.dialed%len(seq)] / 8
 	}
@@ -325,7 +425,7 @@ func (n *Network) Dial() *Conn {
 // looping). Connections attach with DialVia; a link shared by several
 // connections divides its budget evenly among their flowing transfers.
 func (n *Network) NewAccessLink(p *netem.Profile) *AccessLink {
-	return &AccessLink{profile: p, cursor: p.Cursor(), rateBps: -1}
+	return &AccessLink{profile: p, cursor: p.Cursor(), rateBps: -1, lpos: -1, hBound: -1}
 }
 
 // DialVia creates a connection carried by the given access link; a nil
@@ -348,9 +448,13 @@ func (n *Network) Recycle(tr *Transfer) {
 	if tr.Conn != nil && tr.Conn.cur == tr {
 		panic("simnet: Recycle of in-flight transfer")
 	}
-	*tr = Transfer{pos: -1}
+	*tr = blankTransfer
 	n.free = append(n.free, tr)
 }
+
+// blankTransfer is the reset value for new and recycled transfers:
+// every set/heap position cleared.
+var blankTransfer = Transfer{pos: -1, hFin: -1, hCap: -1, hPend: -1, accPos: -1}
 
 func (n *Network) newTransfer() *Transfer {
 	if k := len(n.free); k > 0 {
@@ -359,27 +463,79 @@ func (n *Network) newTransfer() *Transfer {
 		n.free = n.free[:k-1]
 		return tr
 	}
-	return &Transfer{pos: -1} //vodlint:allow hotalloc — free-list miss: bounded by peak concurrent transfers, then zero
+	tr := &Transfer{} //vodlint:allow hotalloc — free-list miss: bounded by peak concurrent transfers, then zero
+	*tr = blankTransfer
+	return tr
 }
 
-// removeConn unlinks a closed connection in O(shift) using its stored
-// index — no linear scan. The remaining connections keep their relative
-// order (a swap-delete would reorder them and, with it, the float
-// accumulation order of delivered bytes, breaking bit-for-bit
-// determinism against the reference engine).
+// removeConn unlinks a closed connection in O(1) by swap-delete. The
+// connection list's order is free to change because everything
+// order-sensitive (the flowing set, completion batches) is keyed on the
+// immutable dial sequence number Conn.seq, which among live connections
+// always agrees with the pre-swap relative order.
 func (n *Network) removeConn(c *Conn) {
 	i := c.idx
 	if i < 0 || i >= len(n.conns) || n.conns[i] != c {
 		return
 	}
-	copy(n.conns[i:], n.conns[i+1:])
 	last := len(n.conns) - 1
+	if i != last {
+		n.conns[i] = n.conns[last]
+		n.conns[i].idx = i
+	}
 	n.conns[last] = nil
 	n.conns = n.conns[:last]
-	for j := i; j < last; j++ {
-		n.conns[j].idx = j
-	}
 	c.idx = -1
+}
+
+// linkAttach registers a transfer that just started flowing with its
+// connection's access link and, on a link's first flow, with the
+// network's active-link set.
+func (n *Network) linkAttach(tr *Transfer) {
+	l := tr.Conn.access
+	if l == nil {
+		return
+	}
+	if l.flows == 0 {
+		l.lpos = len(n.links)
+		n.links = append(n.links, l)
+	}
+	tr.accPos = len(l.members)
+	l.members = append(l.members, tr)
+	l.flows++
+}
+
+// linkDetach is linkAttach's inverse; a link with no flows left leaves
+// the active-link set. Order within members and links is irrelevant
+// (both are refreshed/min-folded, never accumulated), so swap-delete.
+func (n *Network) linkDetach(tr *Transfer) {
+	l := tr.Conn.access
+	if l == nil || tr.accPos < 0 {
+		return
+	}
+	i, last := tr.accPos, len(l.members)-1
+	if i <= last && l.members[i] == tr {
+		if i != last {
+			l.members[i] = l.members[last]
+			l.members[i].accPos = i
+		}
+		l.members[last] = nil
+		l.members = l.members[:last]
+		l.flows--
+	}
+	tr.accPos = -1
+	if l.flows == 0 {
+		if j := l.lpos; j >= 0 && j < len(n.links) && n.links[j] == l {
+			lastL := len(n.links) - 1
+			if j != lastL {
+				n.links[j] = n.links[lastL]
+				n.links[j].lpos = j
+			}
+			n.links[lastL] = nil
+			n.links = n.links[:lastL]
+		}
+		l.lpos = -1
+	}
 }
 
 // insertFlowing adds a transfer to the flowing set, keeping it ordered
@@ -387,7 +543,7 @@ func (n *Network) removeConn(c *Conn) {
 // per-interval rebuild produced).
 func (n *Network) insertFlowing(tr *Transfer) {
 	i := len(n.flowing)
-	for i > 0 && n.flowing[i-1].Conn.idx > tr.Conn.idx {
+	for i > 0 && n.flowing[i-1].Conn.seq > tr.Conn.seq {
 		i--
 	}
 	n.flowing = append(n.flowing, nil)
@@ -396,9 +552,7 @@ func (n *Network) insertFlowing(tr *Transfer) {
 	for j := i; j < len(n.flowing); j++ {
 		n.flowing[j].pos = j
 	}
-	if l := tr.Conn.access; l != nil {
-		l.flows++
-	}
+	n.linkAttach(tr)
 	n.allocDirty = true
 }
 
@@ -417,40 +571,23 @@ func (n *Network) removeFlowing(tr *Transfer) {
 		n.flowing[j].pos = j
 	}
 	tr.pos = -1
-	if l := tr.Conn.access; l != nil {
-		l.flows--
-	}
+	n.linkDetach(tr)
 	n.allocDirty = true
 }
 
 // removePending drops a transfer whose first byte has not arrived yet
-// (close before FlowAt). Pending order is irrelevant, so swap-delete.
+// (close before FlowAt) from the pending heap.
 func (n *Network) removePending(tr *Transfer) {
-	for i, x := range n.pending {
-		if x == tr {
-			last := len(n.pending) - 1
-			n.pending[i] = n.pending[last]
-			n.pending[last] = nil
-			n.pending = n.pending[:last]
-			return
-		}
+	if i := tr.hPend; i >= 0 && i < n.pendHeap.Len() && n.pendHeap.val[i] == tr {
+		n.pendHeap.Remove(i)
 	}
 }
 
 // promote moves pending transfers whose FlowAt has arrived into the
 // flowing set.
 func (n *Network) promote() {
-	for i := 0; i < len(n.pending); {
-		tr := n.pending[i]
-		if tr.FlowAt <= n.now {
-			last := len(n.pending) - 1
-			n.pending[i] = n.pending[last]
-			n.pending[last] = nil
-			n.pending = n.pending[:last]
-			n.insertFlowing(tr)
-			continue
-		}
-		i++
+	for n.pendHeap.Len() > 0 && n.pendHeap.MinKey() <= n.now {
+		n.insertFlowing(n.pendHeap.Pop())
 	}
 }
 
@@ -476,106 +613,145 @@ func (n *Network) Step(until float64) []*Transfer {
 	if until == n.now { //vodlint:allow floateq — fast path keyed on the caller passing the identical deadline back
 		return nil
 	}
-	const epsBytes = 1e-6
 	for n.now < until {
-		n.promote()
-
-		// Next state-change event: the deadline, a pending transfer's
-		// first byte, a slow-start window doubling, a bandwidth boundary
-		// in the edge profile, or one in a flowing access link's profile.
-		// The same scan refreshes each access link's cached rate at the
-		// current time — all reads happen at n.now, so folding the
-		// refresh into the event scan is order-independent.
-		next := until
-		for _, tr := range n.pending {
-			if tr.FlowAt < next {
-				next = tr.FlowAt
-			}
+		n.autoShift()
+		var completed []*Transfer
+		if n.vmode {
+			completed = n.vStepOnce(until)
+		} else {
+			completed = n.scanStepOnce(until)
 		}
-		for _, tr := range n.flowing {
-			c := tr.Conn
-			if c.InSlowStart() && c.nextGrow < next {
-				next = c.nextGrow
-			}
-			if l := c.access; l != nil {
-				if b := l.cursor.NextBoundary(n.now); b < next {
-					next = b
-				}
-				// Exact comparison on purpose: an unchanged
-				// piecewise-constant sample means the memoized rates are
-				// still valid; any real profile change flips the sample
-				// value exactly (same idiom as lastCapacity below).
-				if r := l.cursor.At(n.now); r != l.rateBps { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
-					l.rateBps = r
-					n.allocDirty = true
-				}
-			}
-		}
-		if b := n.cursor.NextBoundary(n.now); b < next {
-			next = b
-		}
-
-		if len(n.flowing) == 0 {
-			n.now = next
-			n.grow()
-			continue
-		}
-
-		// Allocate rates max-min fairly under the connection caps —
-		// but only if something changed since the last water-filling.
-		capacity := n.cursor.At(n.now) / 8 // bytes/s
-		// Exact comparison on purpose: an unchanged piecewise-constant
-		// capacity yields bit-identical rates, so recomputation is pure
-		// waste; any real profile change flips the sample value exactly.
-		if n.allocDirty || capacity != n.lastCapacity { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
-			n.allocate(capacity)
-			n.lastCapacity = capacity
-			n.allocDirty = false
-		}
-
-		// Earliest completion in this constant-rate interval.
-		tEvent := next
-		for _, tr := range n.flowing {
-			if tr.rate > 0 {
-				if tDone := n.now + tr.remaining/tr.rate; tDone < tEvent {
-					tEvent = tDone
-				}
-			}
-		}
-		if tEvent <= n.now {
-			// Degenerate interval (floating point); nudge forward.
-			tEvent = math.Nextafter(n.now, math.Inf(1))
-		}
-
-		dt := tEvent - n.now
-		completed := n.completed[:0]
-		for _, tr := range n.flowing {
-			d := tr.rate * dt
-			if d > tr.remaining {
-				d = tr.remaining
-			}
-			tr.remaining -= d
-			n.delivered += d
-			if tr.remaining <= epsBytes {
-				tr.remaining = 0
-				tr.Done = true
-				tr.Completed = tEvent
-				tr.Conn.cur = nil
-				tr.Conn.lastActive = tEvent
-				completed = append(completed, tr)
-			}
-		}
-		n.completed = completed
-		for _, tr := range completed {
-			n.removeFlowing(tr)
-		}
-		n.now = tEvent
-		n.grow()
 		if len(completed) > 0 {
 			return completed
 		}
 	}
 	return nil
+}
+
+// autoShift applies the engine-selection policy before each event. With
+// EngineAuto the switch is hysteretic: enter virtual time at vtimeEnter
+// flowing transfers, leave at vtimeExit active flows, so a workload
+// hovering around the threshold doesn't pay the switch cost per event.
+func (n *Network) autoShift() {
+	switch n.cfg.Engine {
+	case EngineScan:
+		if n.vmode {
+			n.exitVTime()
+		}
+	case EngineVTime:
+		if !n.vmode {
+			n.enterVTime()
+		}
+	default:
+		if n.vmode {
+			if n.v.active() <= vtimeExit {
+				n.exitVTime()
+			}
+		} else if len(n.flowing) >= vtimeEnter {
+			n.enterVTime()
+		}
+	}
+}
+
+// scanStepOnce advances the scan engine by one event and returns any
+// completions (nil when the event was not a completion). One iteration
+// of the PR 3 loop, bit-identical to the reference formulation.
+//
+//vodlint:hotpath — scan-engine event: O(F) per event below the vtime threshold
+func (n *Network) scanStepOnce(until float64) []*Transfer {
+	const epsBytes = 1e-6
+	n.promote()
+
+	// Next state-change event: the deadline, a pending transfer's
+	// first byte, a slow-start window doubling, a bandwidth boundary
+	// in the edge profile, or one in an active access link's profile.
+	// The same pass refreshes each access link's cached rate at the
+	// current time — all reads happen at n.now and each active link is
+	// visited exactly once, so the refresh is order-independent.
+	next := until
+	if k := n.pendHeap.MinKey(); k < next {
+		next = k
+	}
+	for _, tr := range n.flowing {
+		c := tr.Conn
+		if c.InSlowStart() && c.nextGrow < next {
+			next = c.nextGrow
+		}
+	}
+	for _, l := range n.links {
+		if b := l.cursor.NextBoundary(n.now); b < next {
+			next = b
+		}
+		// Exact comparison on purpose: an unchanged piecewise-constant
+		// sample means the memoized rates are still valid; any real
+		// profile change flips the sample value exactly (same idiom as
+		// lastCapacity below).
+		if r := l.cursor.At(n.now); r != l.rateBps { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
+			l.rateBps = r
+			n.allocDirty = true
+		}
+	}
+	if b := n.cursor.NextBoundary(n.now); b < next {
+		next = b
+	}
+
+	if len(n.flowing) == 0 {
+		n.now = next
+		n.grow()
+		return nil
+	}
+
+	// Allocate rates max-min fairly under the connection caps —
+	// but only if something changed since the last water-filling.
+	capacity := n.cursor.At(n.now) / 8 // bytes/s
+	// Exact comparison on purpose: an unchanged piecewise-constant
+	// capacity yields bit-identical rates, so recomputation is pure
+	// waste; any real profile change flips the sample value exactly.
+	if n.allocDirty || capacity != n.lastCapacity { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
+		n.allocate(capacity)
+		n.lastCapacity = capacity
+		n.allocDirty = false
+	}
+
+	// Earliest completion in this constant-rate interval.
+	tEvent := next
+	for _, tr := range n.flowing {
+		if tr.rate > 0 {
+			if tDone := n.now + tr.remaining/tr.rate; tDone < tEvent {
+				tEvent = tDone
+			}
+		}
+	}
+	if tEvent <= n.now {
+		// Degenerate interval (floating point); nudge forward.
+		tEvent = math.Nextafter(n.now, math.Inf(1))
+	}
+
+	dt := tEvent - n.now
+	completed := n.completed[:0]
+	for _, tr := range n.flowing {
+		d := tr.rate * dt
+		if d > tr.remaining {
+			d = tr.remaining
+		}
+		tr.remaining -= d
+		n.delivered += d
+		if tr.remaining <= epsBytes {
+			tr.remaining = 0
+			tr.Done = true
+			tr.Completed = tEvent
+			tr.Conn.cur = nil
+			tr.Conn.lastActive = tEvent
+			completed = append(completed, tr)
+		}
+	}
+	n.completed = completed
+	for _, tr := range completed {
+		n.removeFlowing(tr)
+	}
+	n.now = tEvent
+	n.grow()
+	return completed
 }
 
 // grow applies slow-start window doubling for connections whose doubling

@@ -1,0 +1,514 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+)
+
+// Virtual-service-time engine (GPS / fair-queuing style).
+//
+// The scan engine pays O(F) per event on a busy link: it scans every
+// flowing transfer for the next slow-start doubling, reruns the
+// water-filling, and applies rate·dt to every flow. This engine makes
+// each event O(log F) by tracking a cumulative equal-share service
+// counter V(t) — "bytes served per uncapped flow so far" — whose slope
+// s = (C − R)/U re-anchors only when the capacity C, the capped-rate
+// sum R, or the uncapped count U changes:
+//
+//   - An uncapped flow attached at anchor a with r bytes remaining
+//     finishes exactly when V reaches a + r, a key that stays valid
+//     across every slope change. Uncapped completions therefore pop
+//     from a min-heap keyed by finish-V with no per-flow updates.
+//   - A capped flow serves at its fixed cap, so its completion is a
+//     real wall-clock time in a sibling heap; it re-anchors only when
+//     its own cap changes.
+//   - Pending first bytes, slow-start doublings and access-link profile
+//     boundaries each live in further heaps.
+//
+// Per-flow progress is never written per event. It is materialized
+// lazily — on completion, removal, cap change, engine exit, or observer
+// read (Transfer.Remaining/Rate, Network.Delivered) — from the flow's
+// (anchor, remaining-at-anchor) pair. Network.Delivered stays O(1) via
+// aggregate anchors: capped flows have collectively delivered
+// R·now − Σ capᵢ·anchorᵢ, uncapped flows U·V − Σ anchorᵢ.
+//
+// The max-min partition (who is capped?) is maintained incrementally:
+// only the largest capped cap and the smallest uncapped cap can violate
+// it, so a rebalance repeatedly compares the two heap tops against the
+// share s. Every move strictly increases s, so each flow moves at most
+// once per direction and the loop terminates.
+//
+// The engine is equivalent to the scan engine up to float accumulation
+// order (uncapped shares are s exactly instead of the water-filling's
+// sequential remainder divisions); the differential fuzz target pins
+// the equivalence with tolerance-bounded completion times and exact
+// per-flow byte conservation.
+
+// Transfer.vClass values.
+const (
+	vNone uint8 = iota // not attached to the vtime engine
+	vUnc               // uncapped: serves at the shared slope
+	vCapd              // capped: serves at its own vCap
+)
+
+// vtimeState carries the engine's anchors, aggregates and event heaps.
+type vtimeState struct {
+	vNow  float64 // cumulative equal-share service, bytes per uncapped flow
+	slope float64 // dV/dt in bytes/s (0 when U == 0 or the link is saturated by caps)
+	C     float64 // edge capacity at the last refresh, bytes/s
+
+	uncN  int     // uncapped flow count U
+	uncAV float64 // Σ vAnchor over uncapped flows
+	R     float64 // Σ vCap over capped flows
+	capRT float64 // Σ vCap·vAnchor over capped flows
+
+	uncFin fheap[Transfer]   // uncapped flows keyed by finish-V
+	uncCap fheap[Transfer]   // uncapped flows keyed by effective cap (min on top)
+	capFin fheap[Transfer]   // capped flows keyed by real finish time
+	capCap fheap[Transfer]   // capped flows keyed by negated cap (max on top)
+	grow   fheap[Conn]       // slow-start doublings of conns with an attached flow
+	bound  fheap[AccessLink] // next profile boundary per active access link
+}
+
+func newVtimeState() *vtimeState {
+	v := &vtimeState{} //vodlint:allow hotalloc — one-time lazy engine construction per Network
+	fin := func(tr *Transfer, i int) { tr.hFin = i }
+	cp := func(tr *Transfer, i int) { tr.hCap = i }
+	v.uncFin.set = fin
+	v.capFin.set = fin
+	v.uncCap.set = cp
+	v.capCap.set = cp
+	v.grow.set = func(c *Conn, i int) { c.hGrow = i }
+	v.bound.set = func(l *AccessLink, i int) { l.hBound = i }
+	return v
+}
+
+// active is the number of flows attached to the engine.
+func (v *vtimeState) active() int { return v.uncN + v.capFin.Len() }
+
+// deliveredAt folds the un-materialized service of every attached flow
+// into the materialized total in O(1). Exact at quiescence: the dust
+// resets in removeUnc/removeCap zero the aggregates whenever a class
+// empties, so an idle network reports exactly Network.delivered.
+func (v *vtimeState) deliveredAt(n *Network) float64 {
+	return n.delivered + (v.R*n.now - v.capRT) + (float64(v.uncN)*v.vNow - v.uncAV)
+}
+
+// addUnc attaches tr as an uncapped flow anchored at the current V.
+// tr.vRem must hold its remaining bytes.
+func (v *vtimeState) addUnc(tr *Transfer, cap float64) {
+	tr.vClass = vUnc
+	tr.vAnchor = v.vNow
+	v.uncN++
+	v.uncAV += tr.vAnchor
+	v.uncFin.Push(tr, tr.vAnchor+tr.vRem)
+	v.uncCap.Push(tr, cap)
+}
+
+// removeUnc detaches tr from the uncapped class, materializing its
+// service since the anchor into Network.delivered and tr.vRem.
+func (v *vtimeState) removeUnc(n *Network, tr *Transfer) {
+	d := v.vNow - tr.vAnchor
+	n.delivered += d
+	tr.vRem -= d
+	v.uncN--
+	v.uncAV -= tr.vAnchor
+	v.uncFin.Remove(tr.hFin)
+	v.uncCap.Remove(tr.hCap)
+	tr.vClass = vNone
+	if v.uncN == 0 {
+		v.uncAV = 0 // shed float dust so deliveredAt is exact at quiescence
+	}
+}
+
+// addCap attaches tr as a capped flow at rate cap (finite, by
+// construction: rebalance and updateCap route infinite caps to addUnc).
+func (v *vtimeState) addCap(n *Network, tr *Transfer, cap float64) {
+	tr.vClass = vCapd
+	tr.vCap = cap
+	tr.vAnchor = n.now
+	v.R += cap
+	v.capRT += cap * tr.vAnchor
+	v.capFin.Push(tr, capFinishT(n.now, tr.vRem, cap))
+	v.capCap.Push(tr, -cap)
+}
+
+// removeCap is addCap's inverse, materializing service at the cap.
+func (v *vtimeState) removeCap(n *Network, tr *Transfer) {
+	d := tr.vCap * (n.now - tr.vAnchor)
+	n.delivered += d
+	tr.vRem -= d
+	v.R -= tr.vCap
+	v.capRT -= tr.vCap * tr.vAnchor
+	v.capFin.Remove(tr.hFin)
+	v.capCap.Remove(tr.hCap)
+	tr.vClass = vNone
+	if v.capFin.Len() == 0 {
+		v.R, v.capRT = 0, 0 // shed float dust, as in removeUnc
+	}
+}
+
+// capFinishT is a capped flow's real completion time. rem/0 and a
+// non-positive remainder need explicit handling so the heap key is
+// never NaN: a zero-rate flow never finishes, an already-drained one
+// finishes now.
+func capFinishT(now, rem, cap float64) float64 {
+	if rem <= 0 {
+		return now
+	}
+	if cap <= 0 {
+		return math.Inf(1)
+	}
+	return now + rem/cap
+}
+
+// updateCap applies a changed effective cap to an attached flow. An
+// uncapped flow only re-keys its rebalance heap — its service rate is
+// the shared slope either way — while a capped flow materializes at the
+// old rate and re-anchors at the new one.
+func (v *vtimeState) updateCap(n *Network, tr *Transfer) {
+	cap := tr.Conn.effCap()
+	switch tr.vClass {
+	case vUnc:
+		if cap != v.uncCap.key[tr.hCap] { //vodlint:allow floateq — skip no-op re-keys of an unchanged cap
+			v.uncCap.Fix(tr.hCap, cap)
+		}
+	case vCapd:
+		if cap == tr.vCap { //vodlint:allow floateq — skip no-op re-anchors of an unchanged cap
+			return
+		}
+		v.removeCap(n, tr)
+		if math.IsInf(cap, 1) {
+			v.addUnc(tr, cap)
+		} else {
+			v.addCap(n, tr, cap)
+		}
+	}
+}
+
+// updateLinkCaps re-keys every flow on l after its even split changed
+// (membership or budget change).
+func (v *vtimeState) updateLinkCaps(n *Network, l *AccessLink) {
+	for _, m := range l.members {
+		v.updateCap(n, m)
+	}
+}
+
+// rebalance restores the max-min partition after caps, capacity or
+// membership changed, then re-derives the slope. Only the heap tops can
+// violate the partition: the smallest uncapped cap is the first to fall
+// below the share s, the largest capped cap the first to rise above it.
+// Every demote removes a cap < s from the uncapped pool and every
+// promote returns a cap > s to it, so s strictly increases with each
+// move, no flow moves twice in the same direction, and the loop
+// terminates.
+func (v *vtimeState) rebalance(n *Network) {
+	for {
+		if v.uncN == 0 {
+			if v.R <= v.C || v.capFin.Len() == 0 {
+				break
+			}
+			// All-capped but infeasible (Σ caps > C): the largest cap
+			// cannot be served at its cap and must share instead.
+			tr := v.capCap.Min()
+			v.removeCap(n, tr)
+			v.addUnc(tr, tr.Conn.effCap())
+			continue
+		}
+		s := (v.C - v.R) / float64(v.uncN)
+		if k := v.uncCap.MinKey(); k < s {
+			tr := v.uncCap.Min()
+			v.removeUnc(n, tr)
+			v.addCap(n, tr, k)
+			continue
+		}
+		if v.capFin.Len() > 0 && -v.capCap.MinKey() > s {
+			tr := v.capCap.Min()
+			v.removeCap(n, tr)
+			v.addUnc(tr, tr.Conn.effCap())
+			continue
+		}
+		break
+	}
+	if v.uncN > 0 {
+		s := (v.C - v.R) / float64(v.uncN)
+		if s < 0 {
+			s = 0
+		}
+		v.slope = s
+	} else {
+		v.slope = 0
+	}
+}
+
+// vAttach moves a pending transfer into the live flow set as the clock
+// reaches its first byte (the vtime counterpart of promote →
+// insertFlowing).
+func (n *Network) vAttach(tr *Transfer) {
+	v := n.v
+	tr.vRem = tr.remaining
+	n.linkAttach(tr)
+	l := tr.Conn.access
+	if l != nil && l.flows == 1 {
+		// Newly active link: refresh its budget and schedule boundaries.
+		l.rateBps = l.cursor.At(n.now)
+		v.bound.Push(l, l.cursor.NextBoundary(n.now))
+	}
+	v.addUnc(tr, tr.Conn.effCap())
+	if c := tr.Conn; c.InSlowStart() && c.hGrow < 0 {
+		v.grow.Push(c, c.nextGrow)
+	}
+	if l != nil && l.flows > 1 {
+		// The even split changed for every sibling on the link.
+		v.updateLinkCaps(n, l)
+	}
+}
+
+// vDetach removes a no-longer-serving flow's side effects: its conn's
+// doubling events, its access-link membership, and its siblings' caps.
+// The caller has already detached the flow from its class.
+func (n *Network) vDetach(tr *Transfer) {
+	v := n.v
+	if c := tr.Conn; c.hGrow >= 0 {
+		v.grow.Remove(c.hGrow)
+	}
+	l := tr.Conn.access
+	n.linkDetach(tr)
+	if l != nil {
+		if l.flows == 0 {
+			if l.hBound >= 0 {
+				v.bound.Remove(l.hBound)
+			}
+		} else {
+			v.updateLinkCaps(n, l)
+		}
+	}
+}
+
+// abandon drops an attached in-flight transfer (connection close),
+// materializing its progress into tr.remaining.
+func (v *vtimeState) abandon(n *Network, tr *Transfer) {
+	switch tr.vClass {
+	case vUnc:
+		v.removeUnc(n, tr)
+	case vCapd:
+		v.removeCap(n, tr)
+	default:
+		return
+	}
+	tr.remaining = tr.vRem
+	if tr.remaining < 0 {
+		tr.remaining = 0
+	}
+	n.vDetach(tr)
+	v.rebalance(n)
+}
+
+// enterVTime hands the live flows from the scan engine to the
+// virtual-time engine. V restarts at 0; every flowing transfer attaches
+// uncapped at its current remaining and the first rebalance derives the
+// true partition.
+func (n *Network) enterVTime() {
+	if n.v == nil {
+		n.v = newVtimeState()
+	}
+	v := n.v
+	v.vNow = 0
+	v.C = n.cursor.At(n.now) / 8
+	for _, tr := range n.flowing {
+		tr.pos = -1
+		tr.vRem = tr.remaining
+		v.addUnc(tr, tr.Conn.effCap())
+		if c := tr.Conn; c.InSlowStart() && c.hGrow < 0 {
+			v.grow.Push(c, c.nextGrow)
+		}
+	}
+	for i := range n.flowing {
+		n.flowing[i] = nil
+	}
+	n.flowing = n.flowing[:0]
+	for _, l := range n.links {
+		l.rateBps = l.cursor.At(n.now)
+		v.bound.Push(l, l.cursor.NextBoundary(n.now))
+	}
+	v.rebalance(n)
+	n.vmode = true
+}
+
+// exitVTime hands the flows back: every attached flow materializes its
+// remaining bytes and the scan engine's flowing set is rebuilt in dial
+// order.
+func (n *Network) exitVTime() {
+	v := n.v
+	for v.uncFin.Len() > 0 {
+		tr := v.uncFin.Min()
+		v.removeUnc(n, tr)
+		tr.remaining = tr.vRem
+		n.flowing = append(n.flowing, tr)
+	}
+	for v.capFin.Len() > 0 {
+		tr := v.capFin.Min()
+		v.removeCap(n, tr)
+		tr.remaining = tr.vRem
+		n.flowing = append(n.flowing, tr)
+	}
+	v.grow.clear()
+	v.bound.clear()
+	sort.Slice(n.flowing, func(i, j int) bool { return n.flowing[i].Conn.seq < n.flowing[j].Conn.seq }) //vodlint:allow hotalloc — engine switch: runs once per transition, not per event
+	for i, tr := range n.flowing {
+		tr.pos = i
+		if tr.remaining < 0 {
+			tr.remaining = 0
+		}
+	}
+	n.allocDirty = true
+	n.vmode = false
+}
+
+// vStepOnce advances the virtual-time engine by one event and returns
+// any completions. Event processing mirrors scanStepOnce: promote
+// pending arrivals, find the next event, advance real and virtual time
+// together, then apply completions, doublings and boundary re-anchors
+// due at the new time, and rebalance once.
+//
+//vodlint:hotpath — vtime-engine event: O(log F) per event at high fan-in
+func (n *Network) vStepOnce(until float64) []*Transfer {
+	const epsBytes = 1e-6
+	v := n.v
+	dirty := false
+
+	// Promote pending first bytes due now.
+	for n.pendHeap.Len() > 0 && n.pendHeap.MinKey() <= n.now {
+		n.vAttach(n.pendHeap.Pop())
+		dirty = true
+	}
+	// Refresh edge capacity at the current time (cursor reads are O(1)
+	// amortised; the exact comparison is the scan engine's memo idiom).
+	if c := n.cursor.At(n.now) / 8; c != v.C { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
+		v.C = c
+		dirty = true
+	}
+	if dirty {
+		v.rebalance(n)
+		dirty = false
+	}
+
+	// Next event: the deadline, a pending first byte, a slow-start
+	// doubling, an edge or access profile boundary, a capped
+	// completion, or — through the current slope — the nearest uncapped
+	// completion in V.
+	next := until
+	if k := n.pendHeap.MinKey(); k < next {
+		next = k
+	}
+	if k := v.grow.MinKey(); k < next {
+		next = k
+	}
+	if b := n.cursor.NextBoundary(n.now); b < next {
+		next = b
+	}
+	if k := v.bound.MinKey(); k < next {
+		next = k
+	}
+	if k := v.capFin.MinKey(); k < next {
+		next = k
+	}
+	uncT := math.Inf(1)
+	if v.uncN > 0 && v.slope > 0 {
+		uncT = n.now + (v.uncFin.MinKey()-v.vNow)/v.slope
+	}
+	if uncT < next {
+		next = uncT
+	}
+	if next <= n.now {
+		// Degenerate interval (floating point); nudge forward.
+		next = math.Nextafter(n.now, math.Inf(1))
+	}
+
+	// Advance real and virtual time together.
+	dt := next - n.now
+	v.vNow += v.slope * dt
+	n.now = next
+	if next >= uncT {
+		// The event is an uncapped completion: land V exactly on the
+		// finish key despite the divide-multiply round trip above.
+		if k := v.uncFin.MinKey(); v.vNow < k {
+			v.vNow = k
+		}
+	}
+
+	// Completions due at the new time.
+	completed := n.completed[:0]
+	for v.uncFin.Len() > 0 && v.uncFin.MinKey() <= v.vNow+epsBytes {
+		tr := v.uncFin.Min()
+		v.removeUnc(n, tr)
+		completed = append(completed, tr)
+	}
+	for v.capFin.Len() > 0 {
+		tr := v.capFin.Min()
+		k := v.capFin.MinKey()
+		if !(k <= n.now || tr.vCap*(k-n.now) <= epsBytes) {
+			break
+		}
+		v.removeCap(n, tr)
+		completed = append(completed, tr)
+	}
+	for _, tr := range completed {
+		// The residual vRem is within epsBytes of zero (either sign):
+		// folding it into delivered lands the flow's total exactly on
+		// Size, keeping byte conservation exact.
+		n.delivered += tr.vRem
+		tr.vRem = 0
+		tr.remaining = 0
+		tr.Done = true
+		tr.Completed = n.now
+		tr.Conn.cur = nil
+		tr.Conn.lastActive = n.now
+		n.vDetach(tr)
+		dirty = true
+	}
+
+	// Slow-start doublings due now.
+	for v.grow.Len() > 0 && v.grow.MinKey() <= n.now {
+		c := v.grow.Min()
+		c.capBps *= 2
+		c.nextGrow += n.cfg.RTT
+		if c.capBps >= n.steadyCap {
+			c.capBps = math.Inf(1)
+			v.grow.Remove(c.hGrow)
+		} else {
+			v.grow.Fix(c.hGrow, c.nextGrow)
+		}
+		if tr := c.cur; tr != nil && tr.vClass != vNone {
+			v.updateCap(n, tr)
+		}
+		dirty = true
+	}
+
+	// Access-link profile boundaries due now.
+	for v.bound.Len() > 0 && v.bound.MinKey() <= n.now {
+		l := v.bound.Min()
+		v.bound.Fix(l.hBound, l.cursor.NextBoundary(n.now))
+		if r := l.cursor.At(n.now); r != l.rateBps { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
+			l.rateBps = r
+			v.updateLinkCaps(n, l)
+			dirty = true
+		}
+	}
+
+	if dirty {
+		v.rebalance(n)
+	}
+
+	// Deterministic dial-order batches, mirroring the scan engine's
+	// flowing-set order.
+	if len(completed) > 1 {
+		for i := 1; i < len(completed); i++ {
+			for j := i; j > 0 && completed[j].Conn.seq < completed[j-1].Conn.seq; j-- {
+				completed[j], completed[j-1] = completed[j-1], completed[j]
+			}
+		}
+	}
+	n.completed = completed
+	return completed
+}
