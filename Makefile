@@ -132,9 +132,13 @@ fleet-smoke:
 # background tier, 8 focus members) run at two worker counts must emit
 # byte-identical JSON while the in-process heap sampler enforces the
 # memory contract (-memceiling-mb aborts the run the moment the live
-# heap crosses the ceiling — no external RSS probe needed). Override
-# FLEET_SCALE_SESSIONS=1000000 for the nightly million-session run, and
-# FLEET_SCALE_DIR to keep the reports for artifact upload.
+# heap crosses the ceiling — no external RSS probe needed). The second
+# half is the warm-sweep gate: a hotspot sweep sharing the cell cache
+# must produce the hotspot point byte-identical to a cold standalone run
+# of the same config — incremental recomputation may only skip work,
+# never change bytes. Override FLEET_SCALE_SESSIONS=1000000 for the
+# nightly million-session run, and FLEET_SCALE_DIR to keep the reports
+# for artifact upload.
 FLEET_SCALE_SESSIONS ?= 100000
 FLEET_SCALE_CEILING_MB ?= 512
 FLEET_SCALE_DIR ?=
@@ -151,4 +155,9 @@ fleet-scale:
 	bin/vodfleet -sessions $(FLEET_SCALE_SESSIONS) -fidelity 0.05 -focus 8 -seed 1 \
 		-workers 8 -q -nocache -memceiling-mb $(FLEET_SCALE_CEILING_MB) -json "$$dir/w8.json" && \
 	cmp "$$dir/w2.json" "$$dir/w8.json" && \
-	echo "fleet-scale: $(FLEET_SCALE_SESSIONS) sessions byte-identical across worker counts under a $(FLEET_SCALE_CEILING_MB) MiB heap ceiling"
+	bin/vodfleet -sessions $(FLEET_SCALE_SESSIONS) -fidelity 0.05 -seed 1 \
+		-workers 8 -q -sweep hotspot=0,0.2 -json "$$dir/sweep.json" && \
+	bin/vodfleet -sessions $(FLEET_SCALE_SESSIONS) -fidelity 0.05 -seed 1 -hotspot 0.2 \
+		-workers 8 -q -nocache -json "$$dir/cold-hotspot.json" && \
+	cmp "$$dir/sweep.json.hotspot=0.2" "$$dir/cold-hotspot.json" && \
+	echo "fleet-scale: $(FLEET_SCALE_SESSIONS) sessions byte-identical across worker counts under a $(FLEET_SCALE_CEILING_MB) MiB heap ceiling; warm sweep byte-identical to cold run"

@@ -277,6 +277,39 @@ func substrateSpecs() ([]benchSpec, error) {
 				}
 			}
 		}},
+		// fleet_cohort_1m: the pure background-tier million — every member
+		// runs inside the vectorized cohort (FidelityFull < 0), serial.
+		// This isolates the cohort engine's per-session cost with no full
+		// player sessions in the mix: the number to watch when touching
+		// cohort.go or the cell engine.
+		{"substrate/fleet_cohort_1m", "substrate", func(b *testing.B) {
+			cfg := fleet.Config{Seed: 1, Sessions: 1_000_000, FidelityFull: -1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(context.Background(), cfg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// fleet_warm_sweep: a fully cached fleet re-run — the cache is
+		// prewarmed outside the timer, so each iteration measures the
+		// incremental-sweep floor (cell fingerprinting, cache lookups,
+		// aggregate merges, report rendering) with zero simulation.
+		{"substrate/fleet_warm_sweep", "substrate", func(b *testing.B) {
+			cfg := fleet.Config{Seed: 1, Sessions: 100_000, FidelityFull: 0.05}
+			cache := fleet.NewCellCache()
+			opts := fleet.RunOptions{Workers: 1, CellCache: cache}
+			if _, err := fleet.RunWithOptions(context.Background(), cfg, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.RunWithOptions(context.Background(), cfg, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}, nil
 }
 

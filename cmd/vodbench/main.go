@@ -29,9 +29,17 @@ import (
 
 	"repro/internal/expcache"
 	"repro/internal/experiments"
+	"runtime/debug"
 )
 
-func main() { os.Exit(run()) }
+func main() {
+	// Same batch GC cadence as vodfleet, so benchmark numbers measure
+	// the code under the deployment configuration (GOGC still wins).
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
+	os.Exit(run())
+}
 
 // run holds the real main so deferred profile writers execute before
 // the process exits (os.Exit skips defers).

@@ -1,0 +1,70 @@
+package fleet
+
+// Cell-granular incremental recomputation. A sweep varies one config
+// field and re-runs the fleet; most cells are unchanged — a hotspot
+// sweep, for example, only changes the cell layout (cell 0's size and
+// the balanced remainder), while every cell whose (seed stream, size,
+// workload parameters) repeat produces byte-identical aggregates. The
+// CellCache content-addresses finished cellAgg slabs by a fingerprint
+// of exactly the inputs runCell consumes for that cell, so warm sweep
+// points skip the simulation for every repeated cell and merge the
+// cached slabs directly.
+//
+// Safety argument: runCell is a pure function of (normalized config,
+// cell index) — CellClients draws members from the cell's private
+// splitmix64 stream, the simulation is single-threaded, and the
+// resulting cellAgg is never mutated after return (fleetAgg.merge only
+// reads its source). The key therefore only needs the fields that
+// reach runCell: the cell's seed stream and size (which fold in Seed,
+// Sessions, ClientsPerCell and Hotspot via the layout), the workload
+// draw parameters, the edge budget, the fidelity mix and the service
+// list — plus the global EngineVersion so any engine change invalidates
+// everything. Focus cells bypass the cache entirely (their FocusSession
+// records are not part of the cached value).
+
+import (
+	"sync/atomic"
+
+	"repro/internal/expcache"
+)
+
+// CellCache memoizes per-cell aggregates across fleet runs. Safe for
+// concurrent use; share one across the runs of a sweep.
+type CellCache struct {
+	memo    expcache.Memo[expcache.Key, *cellAgg]
+	skipped atomic.Int64
+}
+
+// NewCellCache returns an empty cache.
+func NewCellCache() *CellCache {
+	return &CellCache{}
+}
+
+// CellCacheStats is a point-in-time snapshot of cache effectiveness.
+type CellCacheStats struct {
+	// Builds counts cells simulated cold (cache misses).
+	Builds int64
+	// Hits counts cells served from a cached aggregate.
+	Hits int64
+	// Skipped counts cells that bypassed the cache because they carry
+	// focus members.
+	Skipped int64
+}
+
+// Stats reports cumulative cache counters.
+func (cc *CellCache) Stats() CellCacheStats {
+	builds, hits, _ := cc.memo.Stats()
+	return CellCacheStats{Builds: builds, Hits: hits, Skipped: cc.skipped.Load()}
+}
+
+// key fingerprints cell k of a normalized config: exactly the inputs
+// runCell consumes, nothing more — so a sweep that leaves a cell's
+// stream, size and workload parameters untouched hits regardless of
+// which sweep point produced the entry.
+func (cc *CellCache) key(cfg Config, k int) (expcache.Key, error) {
+	return expcache.Fingerprint("fleetcell", expcache.EngineVersion,
+		cellSeed(cfg.Seed, k), cellSize(cfg, k),
+		cfg.ArrivalWindowSec, cfg.WatchSec,
+		cfg.AbandonProb, cfg.AbandonMeanSec,
+		cfg.EdgeMbps, cfg.FidelityFull, cfg.Services)
+}

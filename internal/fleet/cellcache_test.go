@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// sweepCfg is the warm-sweep scenario: enough sessions to span many
+// cells, a fidelity mix so both tiers run, and a service subset to keep
+// the runtime small.
+var sweepCfg = Config{
+	Seed: 11, Sessions: 600, ArrivalWindowSec: 120, WatchSec: 40,
+	ClientsPerCell: 24, FidelityFull: 0.25,
+	Services: []string{"H1", "D2", "S1"},
+}
+
+// TestCellCacheDeterminism pins the cache's core contract: a run served
+// from cached cell aggregates produces byte-identical report JSON to a
+// cold run, and a re-run of the same config is served entirely from the
+// cache.
+func TestCellCacheDeterminism(t *testing.T) {
+	cold := fleetBytes(t, sweepCfg, RunOptions{Workers: 4})
+
+	cache := NewCellCache()
+	first := fleetBytes(t, sweepCfg, RunOptions{Workers: 4, CellCache: cache})
+	if !bytes.Equal(cold, first) {
+		t.Fatalf("cache-enabled cold run changed the report bytes (%d B vs %d B)", len(cold), len(first))
+	}
+	s := cache.Stats()
+	ncfg, err := sweepCfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCells := int64(cellCount(ncfg))
+	if s.Builds != nCells || s.Hits != 0 || s.Skipped != 0 {
+		t.Fatalf("cold run stats = %+v, want %d builds and no hits", s, nCells)
+	}
+
+	warm := fleetBytes(t, sweepCfg, RunOptions{Workers: 4, CellCache: cache})
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("fully cached run changed the report bytes (%d B vs %d B)", len(cold), len(warm))
+	}
+	s = cache.Stats()
+	if s.Builds != nCells || s.Hits != nCells {
+		t.Fatalf("warm run stats = %+v, want %d builds and %d hits", s, nCells, nCells)
+	}
+}
+
+// TestWarmSweepHitRate pins the incremental-recomputation win on the
+// canonical sweep: hotspot 0 → 0.2 with a shared cache. The hotspot
+// point re-lays cell 0 and the balanced remainder, but every balanced
+// cell whose seed stream and size repeat must hit — ≥90% of the second
+// run's cells — and its bytes must equal a cold run of the same point.
+func TestWarmSweepHitRate(t *testing.T) {
+	hotCfg := sweepCfg
+	hotCfg.Hotspot = 0.2
+	coldHot := fleetBytes(t, hotCfg, RunOptions{Workers: 4})
+
+	cache := NewCellCache()
+	fleetBytes(t, sweepCfg, RunOptions{Workers: 4, CellCache: cache})
+	base := cache.Stats()
+
+	warmHot := fleetBytes(t, hotCfg, RunOptions{Workers: 4, CellCache: cache})
+	if !bytes.Equal(coldHot, warmHot) {
+		t.Fatalf("warm sweep point changed the report bytes (%d B vs %d B)", len(coldHot), len(warmHot))
+	}
+	s := cache.Stats()
+	hits := s.Hits - base.Hits
+	builds := s.Builds - base.Builds
+	ncfg, err := hotCfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(cellCount(ncfg))
+	if hits+builds != total {
+		t.Fatalf("hits %d + builds %d != %d cells", hits, builds, total)
+	}
+	if rate := float64(hits) / float64(total); rate < 0.9 {
+		t.Fatalf("warm sweep hit rate %.0f%% (%d/%d), want >= 90%%", rate*100, hits, total)
+	}
+}
+
+// TestCellCacheFocusBypass pins the focus carve-out: cells carrying
+// focus members run cold every time (their FocusSession records are not
+// part of the cached value), count as skipped, and the report — focus
+// section included — stays byte-identical to an uncached run.
+func TestCellCacheFocusBypass(t *testing.T) {
+	cfg := sweepCfg
+	cfg.FocusSessions = 5
+	cold := fleetBytes(t, cfg, RunOptions{Workers: 4})
+
+	cache := NewCellCache()
+	fleetBytes(t, cfg, RunOptions{Workers: 4, CellCache: cache})
+	warm := fleetBytes(t, cfg, RunOptions{Workers: 4, CellCache: cache})
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cached focus run changed the report bytes (%d B vs %d B)", len(cold), len(warm))
+	}
+	s := cache.Stats()
+	if s.Skipped == 0 {
+		t.Fatal("focus cells did not register as skipped")
+	}
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFocusCells := int64(len(focusPlan(ncfg)))
+	if s.Skipped != 2*nFocusCells {
+		t.Fatalf("skipped = %d, want %d (two runs x %d focus cells)", s.Skipped, 2*nFocusCells, nFocusCells)
+	}
+	if s.Builds+nFocusCells != int64(cellCount(ncfg)) {
+		t.Fatalf("builds %d + focus cells %d != %d cells", s.Builds, nFocusCells, cellCount(ncfg))
+	}
+}
+
+// TestRunCanceledContext pins mid-run cancellation: a canceled context
+// stops the run between cells and surfaces the context error instead of
+// a report.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunWithOptions(ctx, sweepCfg, RunOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("canceled context produced a report without error")
+	}
+	if rep != nil {
+		t.Fatalf("canceled context produced a report: %p", rep)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}

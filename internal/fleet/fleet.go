@@ -347,6 +347,12 @@ type RunOptions struct {
 	// one deque, or stealing disabled) — determinism tests use it to
 	// pin both extremes.
 	Steal schedpkg.StealOptions
+	// CellCache, when set, memoizes per-cell aggregates across runs by
+	// cell fingerprint: a sweep that re-runs mostly-unchanged configs
+	// (e.g. a hotspot sweep, where every balanced cell repeats) skips
+	// the unchanged cells and merges their cached slabs. Purely an
+	// execution optimization: bytes are identical with or without it.
+	CellCache *CellCache
 }
 
 // Run executes the fleet and reduces it to a population Report.
@@ -404,6 +410,34 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Report, 
 			hi = nCells
 		}
 		for c := lo; c < hi; c++ {
+			// A canceled context stops between cells, not just between
+			// shards: a single shard of large hotspot cells can run for
+			// a long time, and the steal layer only observes ctx at
+			// shard boundaries.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if cache := opts.CellCache; cache != nil {
+				if len(focus[c]) > 0 {
+					// Focus cells produce per-member FocusSessions the
+					// cache does not capture — always run them cold.
+					cache.skipped.Add(1)
+				} else if key, kerr := cache.key(cfg, c); kerr == nil {
+					c := c
+					ca, err := cache.memo.Get(key, func() (*cellAgg, error) {
+						ca, _, err := runCell(cfg, svcs, origins, bgTemplates, traces, c, nil)
+						return ca, err
+					})
+					if err != nil {
+						return err
+					}
+					// merge reads the cached aggregate without mutating
+					// it, so one cached cellAgg can fold into any number
+					// of later runs.
+					shardAgg.merge(ca)
+					continue
+				}
+			}
 			ca, fs, err := runCell(cfg, svcs, origins, bgTemplates, traces, c, focus[c])
 			if err != nil {
 				return err
@@ -506,12 +540,13 @@ func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgT
 		}
 	}
 	edge := netem.Constant("edge", cfg.EdgeMbps*1e6, horizon+1)
-	net := simnet.New(simnet.DefaultConfig(), edge)
+	scfg := simnet.DefaultConfig()
+	scfg.Engine = simnet.EngineCell
+	net := simnet.New(scfg, edge)
 
 	agg := newCellAgg(len(svcs))
 	var focusOut []FocusSession
 	meta := make(map[*player.Session]sessMeta, len(members))
-	bgMeta := make(map[*player.Background]int)
 	g := player.NewGroup()
 	g.SetObserver(func(s *player.Session, r *player.Result) {
 		sm := meta[s]
@@ -520,9 +555,13 @@ func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgT
 			focusOut = append(focusOut, buildFocus(cfg, cellIdx, sm, r))
 		}
 	})
-	g.SetBackgroundObserver(func(b *player.Background) {
-		agg.observe(bgMeta[b], qoe.FromSummary(b.Summary()))
-	})
+	// The whole background tier of the cell runs as one vectorized
+	// cohort: same per-member arithmetic (differentially tested
+	// bit-exact against player.Background), one group-heap entry and
+	// contiguous slabs instead of a heap entry and a heap allocation
+	// per member.
+	cohort := player.NewCohort(net)
+	var coSvc []int
 	isFocus := make(map[int]bool, len(focusMembers))
 	for _, m := range focusMembers {
 		isFocus[m] = true
@@ -531,13 +570,10 @@ func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgT
 		if !m.Full {
 			bcfg := bgTemplates[m.Service]
 			bcfg.SessionDuration = m.Watch
-			b := player.NewBackground(bcfg, net)
-			b.SetStartAt(m.Arrival)
-			b.SetAccessLink(net.NewAccessLink(traces[m.Trace-1]))
-			if err := g.AddBackground(b); err != nil {
-				return nil, nil, err
-			}
-			bgMeta[b] = m.Service
+			j := cohort.Add(bcfg)
+			cohort.SetStartAt(j, m.Arrival)
+			cohort.SetAccessLink(j, net.NewAccessLink(traces[m.Trace-1]))
+			coSvc = append(coSvc, m.Service)
 			agg.background++
 			continue
 		}
@@ -557,6 +593,14 @@ func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgT
 		}
 		meta[sess] = sessMeta{client: m, member: i}
 		agg.full++
+	}
+	if cohort.Len() > 0 {
+		cohort.SetObserver(func(j int, s *player.Summary) {
+			agg.observe(coSvc[j], qoe.FromSummary(s))
+		})
+		if err := g.AddCohort(cohort); err != nil {
+			return nil, nil, err
+		}
 	}
 	g.Run()
 	agg.finishCell(net.Delivered(), edge.Integral(0, net.Now()))

@@ -291,3 +291,83 @@ func TestCursorIntegral(t *testing.T) {
 		t.Fatalf("empty-profile At = %v, want 0", got)
 	}
 }
+
+func TestNextChange(t *testing.T) {
+	p := &Profile{SampleDur: 1, Samples: []float64{10, 10, 20, 20, 20, 10}}
+	cases := []struct{ t, want float64 }{
+		{0, 2},   // skips the equal 10→10 boundary at t=1
+		{0.5, 2}, // same run
+		{1.5, 2}, // inside the second equal sample
+		{2, 5},   // 20-run ends at t=5
+		{4.9, 5}, // same run
+		{5, 8},   // wraps: samples 0,1 are also 10, first change at 8
+	}
+	for _, c := range cases {
+		if got := p.NextChange(c.t); got != c.want {
+			t.Errorf("NextChange(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+
+	// A constant profile never changes.
+	con := Constant("c", 5e6, 30)
+	if got := con.NextChange(3.7); !math.IsInf(got, 1) {
+		t.Errorf("Constant NextChange = %v, want +Inf", got)
+	}
+
+	// NextChange is always a NextBoundary-reachable instant and the value
+	// really differs there while staying constant before it.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = float64(1 + rng.Intn(3)) // many equal runs
+		}
+		p := &Profile{SampleDur: 1, Samples: samples}
+		tq := rng.Float64() * 20
+		chg := p.NextChange(tq)
+		v := p.At(tq)
+		if math.IsInf(chg, 1) {
+			for i := 1; i < n; i++ {
+				if samples[i] != samples[0] {
+					t.Fatalf("NextChange(%v)=+Inf but samples differ: %v", tq, samples)
+				}
+			}
+			continue
+		}
+		if p.At(chg) == v {
+			t.Fatalf("NextChange(%v)=%v but value unchanged (%v): %v", tq, chg, v, samples)
+		}
+		// every boundary strictly between tq and chg keeps the value
+		for b := p.NextBoundary(tq); b < chg; b = p.NextBoundary(b) {
+			if p.At(b) != v {
+				t.Fatalf("value changed at %v before NextChange(%v)=%v: %v", b, tq, chg, samples)
+			}
+		}
+	}
+}
+
+func TestCursorNextChange(t *testing.T) {
+	for trial := int64(0); trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(100 + trial))
+		n := 1 + rng.Intn(10)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = float64(1 + rng.Intn(3))
+		}
+		p := &Profile{SampleDur: 1, Samples: samples}
+		cur := p.Cursor()
+		tq := 0.0
+		for i := 0; i < 100; i++ {
+			tq += rng.Float64()
+			want := p.NextChange(tq)
+			if got := cur.NextChange(tq); got != want {
+				t.Fatalf("cursor NextChange(%v) = %v, want %v (samples %v)", tq, got, want, samples)
+			}
+			// interleave At/NextBoundary to stress the shared window cache
+			if got, want := cur.At(tq), p.At(tq); got != want {
+				t.Fatalf("cursor At(%v) = %v, want %v", tq, got, want)
+			}
+		}
+	}
+}

@@ -64,6 +64,38 @@ func (p *Profile) NextBoundary(t float64) float64 {
 	return b
 }
 
+// NextChange returns the earliest time strictly greater than t at which
+// the bandwidth actually differs from its value at t, or +Inf when every
+// sample is equal (the trace loops, so one changeless period means a
+// changeless profile). It is the event-reducing refinement of
+// NextBoundary: a piecewise-constant profile has a sample boundary every
+// SampleDur, but an engine that anchors flow progress only needs to wake
+// when the value changes.
+func (p *Profile) NextChange(t float64) float64 {
+	if len(p.Samples) == 0 {
+		return math.Inf(1)
+	}
+	v := p.At(t)
+	// Walk sample boundaries with the exact NextBoundary expressions; one
+	// full period with no differing sample proves the profile constant.
+	n := math.Floor(t/p.SampleDur) + 1
+	b := n * p.SampleDur
+	if b <= t { // guard against floating point slop, as NextBoundary does
+		n++
+		b = n * p.SampleDur
+	}
+	for k := 0; k < len(p.Samples); k++ {
+		// Exact comparison on purpose: samples are stored values never
+		// recomputed, so "changed" means the bits differ.
+		if p.At(b) != v { //vodlint:allow floateq — change detection on stored, never-recomputed sample values
+			return b
+		}
+		n++
+		b = n * p.SampleDur
+	}
+	return math.Inf(1)
+}
+
 // Integral returns the number of bits deliverable in [a, b] at full link
 // utilisation.
 func (p *Profile) Integral(a, b float64) float64 {
@@ -97,6 +129,11 @@ type Cursor struct {
 	lo, hi   float64 // cached window: queries in [lo, hi) hit
 	val      float64 // sample value over the window
 	hasCache bool
+
+	// Change-window cache for NextChange: queries in [chgLo, chgHi) all
+	// see the same value, so the next value change is chgHi itself.
+	chgLo, chgHi float64
+	hasChg       bool
 }
 
 // Cursor returns a cursor positioned before the start of the profile.
@@ -138,6 +175,90 @@ func (c *Cursor) NextBoundary(t float64) float64 {
 		c.seek(t)
 	}
 	return c.hi
+}
+
+// NextChange returns the earliest time strictly greater than t at which
+// the bandwidth actually differs from its value at t, equal to
+// Profile.NextChange(t). The result is cached over the whole constant
+// stretch, so repeated calls with non-decreasing t are O(1) amortised
+// even on profiles with long runs of equal samples (a constant profile
+// answers +Inf forever after one scan).
+func (c *Cursor) NextChange(t float64) float64 {
+	if !c.hasCache || t < c.lo || t >= c.hi {
+		c.seek(t)
+	}
+	if c.hasChg && t >= c.chgLo && t < c.chgHi {
+		return c.chgHi
+	}
+	b := c.p.NextChange(t)
+	c.chgLo, c.chgHi = t, b
+	c.hasChg = true
+	return b
+}
+
+// ValueNext returns the bandwidth at t and the earliest time after t at
+// which it changes, equal to (At(t), NextChange(t)) in one amortised-O(1)
+// advance: the seek is shared and the change scan reuses the cached
+// window instead of re-deriving the value and first boundary.
+func (c *Cursor) ValueNext(t float64) (val, next float64) {
+	if !c.hasCache || t < c.lo || t >= c.hi {
+		c.seek(t)
+	}
+	if !(c.hasChg && t >= c.chgLo && t < c.chgHi) {
+		c.chgLo, c.chgHi = t, c.nextChangeFrom(t)
+		c.hasChg = true
+	}
+	return c.val, c.chgHi
+}
+
+// nextChangeFrom is Profile.NextChange with the leading At(t) replaced by
+// the cursor's cached window value (the caller holds the window
+// invariant c.val == p.At(t)). For unit-duration samples the boundary
+// times n*1 are exact integers, so the scan walks the sample slice by
+// integer index — Samples[int(n) % len] is Profile.At(n) bit for bit —
+// instead of paying a divide, floor and modulo per examined boundary.
+func (c *Cursor) nextChangeFrom(t float64) float64 {
+	p := c.p
+	if len(p.Samples) == 0 {
+		return math.Inf(1)
+	}
+	v := c.val
+	n := math.Floor(t/p.SampleDur) + 1
+	b := n * p.SampleDur
+	if b <= t { // guard against floating point slop, as NextBoundary does
+		n++
+		b = n * p.SampleDur
+	}
+	if p.SampleDur == 1 {
+		size := len(p.Samples)
+		i := int(n) % size
+		if i < 0 {
+			i += size
+		}
+		for k := 0; k < size; k++ {
+			// Exact comparison on purpose: samples are stored values never
+			// recomputed, so "changed" means the bits differ.
+			if p.Samples[i] != v { //vodlint:allow floateq — change detection on stored, never-recomputed sample values
+				return b
+			}
+			n++
+			b = n
+			i++
+			if i == size {
+				i = 0
+			}
+		}
+		return math.Inf(1)
+	}
+	for k := 0; k < len(p.Samples); k++ {
+		// Exact comparison on purpose, as above.
+		if p.At(b) != v { //vodlint:allow floateq — change detection on stored, never-recomputed sample values
+			return b
+		}
+		n++
+		b = n * p.SampleDur
+	}
+	return math.Inf(1)
 }
 
 // Integral returns the bits deliverable in [a, b] at full utilisation,

@@ -27,11 +27,22 @@ type BufferedSegment struct {
 type Buffer struct {
 	segs    []BufferedSegment
 	dropped []BufferedSegment // scratch reused by DropFromIndex
+
+	// PlayableEnd memo. While the segment set is unchanged, the
+	// contiguous range from any playhead inside [cachePh, cacheEnd] ends
+	// exactly at cacheEnd: the merge chain that produced cacheEnd is the
+	// same chain the rescan would walk, and a segment extending past
+	// cacheEnd would have extended the original chain too. Every mutation
+	// clears the memo.
+	cachePh  float64
+	cacheEnd float64
+	cacheOK  bool
 }
 
 // Insert adds a segment, keeping media order. Inserting an index that is
 // already buffered replaces it and returns the old segment.
 func (b *Buffer) Insert(s BufferedSegment) (old BufferedSegment, replaced bool) {
+	b.cacheOK = false
 	for i := range b.segs {
 		if b.segs[i].Index == s.Index {
 			old = b.segs[i]
@@ -56,6 +67,9 @@ func (b *Buffer) Insert(s BufferedSegment) (old BufferedSegment, replaced bool) 
 // playhead) it returns the playhead itself.
 func (b *Buffer) PlayableEnd(playhead float64) float64 {
 	const eps = 1e-9
+	if b.cacheOK && playhead >= b.cachePh && playhead <= b.cacheEnd {
+		return b.cacheEnd
+	}
 	end := playhead
 	for _, s := range b.segs {
 		if s.Start > end+eps {
@@ -65,6 +79,7 @@ func (b *Buffer) PlayableEnd(playhead float64) float64 {
 			end = s.End
 		}
 	}
+	b.cachePh, b.cacheEnd, b.cacheOK = playhead, end, true
 	return end
 }
 
@@ -118,6 +133,7 @@ func (b *Buffer) UnplayedCount(playhead float64) int {
 // returns them (the deque tail discard that contiguous replacement needs).
 // The returned slice is reused by the next DropFromIndex call.
 func (b *Buffer) DropFromIndex(index int) []BufferedSegment {
+	b.cacheOK = false
 	kept := b.segs[:0]
 	dropped := b.dropped[:0]
 	for _, s := range b.segs {
@@ -135,6 +151,7 @@ func (b *Buffer) DropFromIndex(index int) []BufferedSegment {
 // GC discards segments that finished playing before the playhead and
 // returns how many were dropped.
 func (b *Buffer) GC(playhead float64) int {
+	b.cacheOK = false
 	kept := b.segs[:0]
 	n := 0
 	for _, s := range b.segs {

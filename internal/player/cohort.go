@@ -1,0 +1,569 @@
+package player
+
+import (
+	"math"
+
+	"repro/internal/simnet"
+)
+
+// Cohort is the vectorized form of a cell's background tier: every
+// coarse session of one cell stored as structure-of-arrays slabs and
+// batch-stepped by a single Group member, instead of one heap-allocated
+// Background per session scattered across the heap. At a million
+// sessions the per-object layout is the fleet's dominant cost — each
+// wake touches a dozen cache lines of one Background before jumping to
+// an unrelated one — while the slab layout walks contiguous memory in
+// member order and shares one deadline heap, one wake list and one
+// scratch Summary across the whole cell.
+//
+// The contract is bit-exactness, not resemblance: a Cohort of N members
+// produces byte-identical Summaries to N individual Backgrounds added
+// to the same Group in the same order (asserted by the differential
+// suite in cohort_test.go). That holds because the member-local
+// arithmetic is transcribed from Background with identical expression
+// trees, members within the cohort are serviced/advanced in ascending
+// index order — exactly the ascending member-id order the Group gives
+// individual Backgrounds registered after all full sessions — and
+// completions are dispatched in batch order either way. The cohort's
+// group-heap key is the minimum of its internal per-member deadline
+// heap, so the Group wakes it precisely when it would have woken the
+// earliest individual Background.
+//
+// Members are appended with Add (each carrying its own
+// BackgroundConfig — fleet cells mix service templates and per-viewer
+// session durations) before the cohort joins a Group; AddCohort
+// freezes the slabs, so the run itself allocates nothing.
+type Cohort struct {
+	net *simnet.Network
+
+	// Per-member immutable draw, set by Add.
+	cfgs    []BackgroundConfig
+	segCnt  []int32   // ceil(MediaDuration/SegmentDuration) per member
+	resume  []float64 // pause/resume hysteresis threshold per member
+	startAt []float64
+	link    []*simnet.AccessLink
+
+	// Per-member control state, one slab entry per member (freeze).
+	flags     []uint8 // coStarted..coInflight bit field
+	lastTime  []float64
+	playhead  []float64
+	bufferSec []float64
+	stallSt   []float64 // stall open instant (valid while coStallOpen)
+
+	nextSeg  []int32
+	samples  []int32
+	prevTrak []int32
+	pendTrak []int32
+	pendDur  []float64
+	ewma     []float64
+	totBytes []float64
+
+	conn []*simnet.Conn
+	refs []cohortRef // Transfer.Meta targets: pointers into this slab
+
+	// Segment FIFO rings: member m owns qTrack/qDur/qMark[m*qCap :
+	// (m+1)*qCap], a ring of at most qCap buffered stretches (the buffer
+	// pauses at MaxBufferSec, so the ring is small and bounded).
+	qCap   int
+	qTrack []int32
+	qDur   []float64
+	qMark  []uint8 // counted flag: switch accounting done at first consumption
+	qHead  []int32
+	qLen   []int32
+
+	// Per-member Summary slabs; timeOnTrack packs each member's ladder-
+	// width row at toOff[m] (ladders differ across service templates).
+	sumStartup  []float64
+	sumStallCnt []int32
+	sumStallSec []float64
+	sumPlayed   []float64
+	sumWeighted []float64
+	sumMedia    []float64
+	sumSwitch   []int32
+	sumNonCons  []int32
+	toOff       []int32
+	timeOnTrack []float64
+
+	// Internal scheduler: the same indexed deadline heap the Group uses,
+	// keyed by member index, plus the member-level wake list.
+	h     groupHeap
+	woken []bool
+	wake  []int
+
+	live    int  // members not yet finished
+	retired bool // Group bookkeeping: counted out of `remaining` once
+	frozen  bool
+
+	observer func(int, *Summary)
+	scratch  Summary
+
+	// gidx is the cohort's member id in the Group run driving it.
+	gidx int
+}
+
+// Per-member flag bits.
+const (
+	coStarted uint8 = 1 << iota
+	coPlaying
+	coFinished
+	coDone
+	coStallOpen
+	coPausedDl
+	coInflight
+)
+
+// cohortRef identifies one cohort member as a transfer's Meta: a
+// pointer into the cohort's refs slab, so starting a request boxes a
+// pointer (no allocation) and a completion routes back to the member.
+type cohortRef struct {
+	c   *Cohort
+	idx int
+}
+
+// NewCohort starts an empty cohort over the shared network; append
+// members with Add, then register it with Group.AddCohort.
+func NewCohort(net *simnet.Network) *Cohort {
+	return &Cohort{net: net}
+}
+
+// Add appends one member with its own config (defaults applied exactly
+// as NewBackground would) and returns its index. Call before the
+// cohort joins a Group.
+func (c *Cohort) Add(cfg BackgroundConfig) int {
+	if c.frozen {
+		panic("player: Cohort.Add after the cohort joined a group")
+	}
+	cfg = cfg.withDefaults()
+	m := len(c.cfgs)
+	c.cfgs = append(c.cfgs, cfg)
+	c.segCnt = append(c.segCnt, int32(math.Ceil(cfg.MediaDuration/cfg.SegmentDuration)))
+	r := cfg.MaxBufferSec - 10
+	if r <= 0 {
+		r = cfg.MaxBufferSec / 2
+	}
+	c.resume = append(c.resume, r)
+	c.startAt = append(c.startAt, 0)
+	c.link = append(c.link, nil)
+	return m
+}
+
+// Len returns the member count.
+func (c *Cohort) Len() int { return len(c.cfgs) }
+
+// SetStartAt schedules member i's arrival on the shared clock; call
+// before the group runs.
+func (c *Cohort) SetStartAt(i int, t float64) {
+	if t < 0 {
+		t = 0
+	}
+	c.startAt[i] = t
+	if c.frozen {
+		c.lastTime[i] = t
+	}
+}
+
+// SetAccessLink routes member i through a per-client access link.
+func (c *Cohort) SetAccessLink(i int, l *simnet.AccessLink) { c.link[i] = l }
+
+// SetObserver registers fn, called exactly once per member as it
+// finishes with a scratch Summary valid only for the duration of the
+// call (the TimeOnTrack slice aliases the cohort's slab) — fold it,
+// don't retain it.
+func (c *Cohort) SetObserver(fn func(i int, s *Summary)) { c.observer = fn }
+
+// freeze sizes every slab for the member set (called by AddCohort; the
+// group run itself allocates nothing).
+func (c *Cohort) freeze() {
+	if c.frozen {
+		return
+	}
+	c.frozen = true
+	n := len(c.cfgs)
+	// Ring bound: a member's buffer pauses at MaxBufferSec and one
+	// in-flight segment can still land, so at most
+	// ceil(MaxBufferSec/segDur) full stretches plus a partially-consumed
+	// head, the clipped final segment and the just-landed one are ever
+	// queued at once. The stride is the population maximum.
+	c.qCap = 1
+	toSum := 0
+	for m := 0; m < n; m++ {
+		cap := int(math.Ceil(c.cfgs[m].MaxBufferSec/c.cfgs[m].SegmentDuration)) + 4
+		if sc := int(c.segCnt[m]); cap > sc {
+			cap = sc
+		}
+		if cap > c.qCap {
+			c.qCap = cap
+		}
+		toSum += len(c.cfgs[m].Declared)
+	}
+	c.flags = make([]uint8, n)
+	c.lastTime = make([]float64, n)
+	c.playhead = make([]float64, n)
+	c.bufferSec = make([]float64, n)
+	c.stallSt = make([]float64, n)
+	c.nextSeg = make([]int32, n)
+	c.samples = make([]int32, n)
+	c.prevTrak = make([]int32, n)
+	c.pendTrak = make([]int32, n)
+	c.pendDur = make([]float64, n)
+	c.ewma = make([]float64, n)
+	c.totBytes = make([]float64, n)
+	c.conn = make([]*simnet.Conn, n)
+	c.refs = make([]cohortRef, n)
+	c.qTrack = make([]int32, n*c.qCap)
+	c.qDur = make([]float64, n*c.qCap)
+	c.qMark = make([]uint8, n*c.qCap)
+	c.qHead = make([]int32, n)
+	c.qLen = make([]int32, n)
+	c.sumStartup = make([]float64, n)
+	c.sumStallCnt = make([]int32, n)
+	c.sumStallSec = make([]float64, n)
+	c.sumPlayed = make([]float64, n)
+	c.sumWeighted = make([]float64, n)
+	c.sumMedia = make([]float64, n)
+	c.sumSwitch = make([]int32, n)
+	c.sumNonCons = make([]int32, n)
+	c.toOff = make([]int32, n+1)
+	c.timeOnTrack = make([]float64, toSum)
+	c.h.init(n)
+	c.woken = make([]bool, n)
+	c.wake = make([]int, 0, n)
+	off := int32(0)
+	for m := 0; m < n; m++ {
+		c.toOff[m] = off
+		off += int32(len(c.cfgs[m].Declared))
+		c.lastTime[m] = c.startAt[m]
+		c.prevTrak[m] = -1
+		c.sumStartup[m] = -1
+		c.refs[m] = cohortRef{c: c, idx: m}
+		// First round: every member is serviced once, mirroring the
+		// Group's initial all-member wake.
+		c.woken[m] = true
+		c.wake = append(c.wake, m)
+	}
+	c.toOff[n] = off
+	c.live = n
+}
+
+func (c *Cohort) endAt(m int) float64 { return c.startAt[m] + c.cfgs[m].SessionDuration }
+
+func (c *Cohort) memberDone(m int) bool { return c.flags[m]&coDone != 0 }
+
+// segDurAt returns member m's segment i media duration (the last one is
+// clipped to the presentation end).
+func (c *Cohort) segDurAt(m, i int) float64 {
+	cfg := &c.cfgs[m]
+	if start := float64(i) * cfg.SegmentDuration; start+cfg.SegmentDuration > cfg.MediaDuration {
+		return cfg.MediaDuration - start
+	}
+	return cfg.SegmentDuration
+}
+
+// wakeMember queues member m for the next advance/service round
+// (dedup'd, exactly like the Group's addWake).
+//
+//vodlint:hotpath — called once per completed cohort transfer
+func (c *Cohort) wakeMember(m int) {
+	if !c.woken[m] {
+		c.woken[m] = true
+		c.wake = append(c.wake, m)
+	}
+}
+
+// wakeDue pops every member whose internal deadline has arrived,
+// mirroring the Group's own heap-pop loop.
+//
+//vodlint:hotpath — cohort deadline pops: once per group iteration
+func (c *Cohort) wakeDue(tnow float64) {
+	for c.h.len() > 0 && c.h.minKey() <= tnow+eps {
+		c.wakeMember(c.h.popMin())
+	}
+}
+
+// minKey is the cohort's key in the Group heap: the earliest internal
+// member deadline.
+func (c *Cohort) minKey() float64 { return c.h.minKey() }
+
+// inflightSum counts in-flight transfers across live members (the
+// Group's defensive no-deadline branch needs the total).
+func (c *Cohort) inflightSum() int {
+	s := 0
+	for m := range c.flags {
+		if c.flags[m]&coDone == 0 && c.flags[m]&coInflight != 0 {
+			s++
+		}
+	}
+	return s
+}
+
+// advanceWoken sorts the wake list into ascending member order — the
+// same add-order discipline the Group applies to its own wake list —
+// and syncs each woken member's playback to the clock. The sorted list
+// is then reused by service in the same order.
+//
+//vodlint:hotpath — cohort advance phase: once per group iteration
+func (c *Cohort) advanceWoken(tnow float64) {
+	wake := c.wake
+	for i := 1; i < len(wake); i++ {
+		for j := i; j > 0 && wake[j] < wake[j-1]; j-- {
+			wake[j], wake[j-1] = wake[j-1], wake[j]
+		}
+	}
+	for _, m := range wake {
+		if c.flags[m]&coDone == 0 {
+			c.advancePlayback(m, tnow)
+		}
+	}
+}
+
+// service runs the Group's per-member service step over the woken
+// members in ascending order: finish members past their end, park
+// unarrived members at their start, let the rest issue requests and
+// re-key their internal deadline. The caller re-keys the cohort's
+// group-heap entry from minKey afterwards.
+//
+//vodlint:hotpath — cohort service phase: once per group iteration
+func (c *Cohort) service(now float64) {
+	for _, m := range c.wake {
+		c.woken[m] = false
+		if c.flags[m]&coDone != 0 {
+			continue
+		}
+		if now < c.startAt[m]-eps {
+			c.h.set(m, c.startAt[m])
+			continue
+		}
+		if now >= c.endAt(m)-eps || c.flags[m]&coFinished != 0 {
+			c.finishMember(m)
+			c.h.remove(m)
+			continue
+		}
+		c.issueRequests(m)
+		d := c.nextDeadline(m, now)
+		if e := c.endAt(m); e < d {
+			d = e
+		}
+		c.h.set(m, d)
+	}
+	c.wake = c.wake[:0]
+}
+
+// issueRequests starts member m's next segment download if it is behind
+// its buffer target. One request at a time: the coarse tier has no
+// pipeline. Expression-identical to Background.issueRequests.
+//
+//vodlint:hotpath — cohort request issue: once per serviced member
+func (c *Cohort) issueRequests(m int) {
+	if c.flags[m]&coInflight != 0 || int(c.nextSeg[m]) >= int(c.segCnt[m]) {
+		return
+	}
+	cfg := &c.cfgs[m]
+	if c.flags[m]&coPausedDl != 0 {
+		if c.bufferSec[m] > c.resume[m]+1e-6 {
+			return
+		}
+		c.flags[m] &^= coPausedDl
+	} else if c.bufferSec[m] >= cfg.MaxBufferSec-1e-6 {
+		c.flags[m] |= coPausedDl
+		return
+	}
+	track := 0
+	if c.samples[m] > 0 {
+		budget := cfg.SafetyFactor * c.ewma[m]
+		for t := len(cfg.Declared) - 1; t > 0; t-- {
+			if cfg.Declared[t] <= budget {
+				track = t
+				break
+			}
+		}
+	}
+	dur := c.segDurAt(m, int(c.nextSeg[m]))
+	size := cfg.Declared[track] * dur / 8
+	if c.conn[m] == nil {
+		c.conn[m] = c.net.DialVia(c.link[m])
+	}
+	c.pendDur[m], c.pendTrak[m] = dur, int32(track)
+	c.conn[m].Start(size, &c.refs[m])
+	c.flags[m] |= coInflight
+}
+
+// onComplete books member m's finished segment transfer.
+// Expression-identical to Background.onComplete.
+//
+//vodlint:hotpath — cohort completion fold: once per completed transfer
+func (c *Cohort) onComplete(m int, tr *simnet.Transfer) {
+	c.flags[m] &^= coInflight
+	rate := tr.Size * 8 / math.Max(tr.Completed-tr.Started, 1e-3)
+	if c.samples[m] == 0 {
+		c.ewma[m] = rate
+	} else {
+		c.ewma[m] = c.cfgs[m].EWMAAlpha*rate + (1-c.cfgs[m].EWMAAlpha)*c.ewma[m]
+	}
+	c.samples[m]++
+	c.totBytes[m] += tr.Size
+	c.bufferSec[m] += c.pendDur[m]
+	if int(c.qLen[m]) >= c.qCap {
+		panic("player: cohort segment ring overflow")
+	}
+	slot := m*c.qCap + int(c.qHead[m]+c.qLen[m])%c.qCap
+	c.qTrack[slot] = c.pendTrak[m]
+	c.qDur[slot] = c.pendDur[m]
+	c.qMark[slot] = 0
+	c.qLen[m]++
+	c.nextSeg[m]++
+	c.maybeStartPlayback(m, tr.Completed)
+}
+
+func (c *Cohort) maybeStartPlayback(m int, now float64) {
+	if c.flags[m]&(coPlaying|coFinished) != 0 {
+		return
+	}
+	allDown := int(c.nextSeg[m]) >= int(c.segCnt[m])
+	if c.bufferSec[m] >= c.cfgs[m].StartupBufferSec-eps || (allDown && c.bufferSec[m] > eps) {
+		c.flags[m] |= coPlaying
+		if c.flags[m]&coStarted == 0 {
+			c.flags[m] |= coStarted
+			c.sumStartup[m] = now - c.startAt[m]
+		} else if c.flags[m]&coStallOpen != 0 {
+			c.sumStallCnt[m]++
+			c.sumStallSec[m] += now - c.stallSt[m]
+			c.flags[m] &^= coStallOpen
+		}
+	}
+}
+
+// advancePlayback drains member m's fluid buffer to wall time t.
+// Expression-identical to Background.advancePlayback.
+//
+//vodlint:hotpath — cohort playback drain: once per woken member per iteration
+func (c *Cohort) advancePlayback(m int, t float64) {
+	for c.lastTime[m] < t-eps {
+		if c.flags[m]&coPlaying == 0 {
+			c.lastTime[m] = t
+			return
+		}
+		limit := math.Min(c.bufferSec[m], c.cfgs[m].MediaDuration-c.playhead[m])
+		dt := t - c.lastTime[m]
+		adv := math.Min(dt, math.Max(0, limit))
+		c.consume(m, adv)
+		c.lastTime[m] += adv
+		if adv < dt-eps {
+			c.flags[m] &^= coPlaying
+			if c.playhead[m] >= c.cfgs[m].MediaDuration-eps {
+				c.flags[m] |= coFinished
+				c.lastTime[m] = t
+				return
+			}
+			c.flags[m] |= coStallOpen
+			c.stallSt[m] = c.lastTime[m]
+		}
+	}
+}
+
+// consume plays adv seconds of member m's media off its FIFO ring,
+// folding displayed bitrate, time-on-track and switch counts as each
+// stretch is shown. Expression-identical to Background.consume.
+//
+//vodlint:hotpath — cohort FIFO drain: inner loop of every playback advance
+func (c *Cohort) consume(m int, adv float64) {
+	if adv <= 0 {
+		return
+	}
+	c.sumPlayed[m] += adv
+	c.playhead[m] += adv
+	c.bufferSec[m] = math.Max(0, c.bufferSec[m]-adv)
+	to := int(c.toOff[m])
+	rem := adv
+	for rem > eps && c.qLen[m] > 0 {
+		slot := m*c.qCap + int(c.qHead[m])
+		if c.qMark[slot] == 0 {
+			if c.prevTrak[m] >= 0 && c.qTrack[slot] != c.prevTrak[m] {
+				c.sumSwitch[m]++
+				if d := c.qTrack[slot] - c.prevTrak[m]; d > 1 || d < -1 {
+					c.sumNonCons[m]++
+				}
+			}
+			c.prevTrak[m] = c.qTrack[slot]
+			c.qMark[slot] = 1
+		}
+		d := math.Min(rem, c.qDur[slot])
+		c.sumWeighted[m] += c.cfgs[m].Declared[c.qTrack[slot]] * d
+		c.sumMedia[m] += d
+		c.timeOnTrack[to+int(c.qTrack[slot])] += d
+		c.qDur[slot] -= d
+		rem -= d
+		if c.qDur[slot] <= eps {
+			c.qHead[m] = int32((int(c.qHead[m]) + 1) % c.qCap)
+			c.qLen[m]--
+		}
+	}
+}
+
+// nextDeadline is the next time member m's control state can change
+// without a download completing. Expression-identical to
+// Background.nextDeadline.
+func (c *Cohort) nextDeadline(m int, now float64) float64 {
+	if c.flags[m]&coPlaying == 0 {
+		return math.Inf(1)
+	}
+	d := now + math.Min(c.bufferSec[m], c.cfgs[m].MediaDuration-c.playhead[m])
+	if c.flags[m]&coPausedDl != 0 && int(c.nextSeg[m]) < int(c.segCnt[m]) {
+		d = math.Min(d, now+math.Max(0, c.bufferSec[m]-c.resume[m]))
+	}
+	return d
+}
+
+// finishMember finalizes member m once, releases its connection, and
+// hands the observer a scratch Summary assembled from the slabs (the
+// TimeOnTrack slice is a view into the cohort's slab, not a copy).
+func (c *Cohort) finishMember(m int) {
+	if c.flags[m]&coDone != 0 {
+		return
+	}
+	end := math.Min(c.net.Now(), c.endAt(m))
+	c.advancePlayback(m, end)
+	c.flags[m] &^= coPlaying
+	if c.flags[m]&coStallOpen != 0 {
+		c.sumStallCnt[m]++
+		c.sumStallSec[m] += end - c.stallSt[m]
+		c.flags[m] &^= coStallOpen
+	}
+	if c.conn[m] != nil {
+		c.conn[m].Close()
+	}
+	c.flags[m] |= coDone
+	c.live--
+	if c.observer != nil {
+		c.scratch = c.MemberSummary(m)
+		c.observer(m, &c.scratch)
+	}
+}
+
+// finishAll finalizes every live member at the current time (the
+// Group's defensive no-deadline branch).
+func (c *Cohort) finishAll() {
+	for m := range c.flags {
+		if c.flags[m]&coDone == 0 {
+			c.finishMember(m)
+		}
+	}
+}
+
+// MemberSummary assembles member m's digest from the slabs. The
+// TimeOnTrack slice aliases the cohort's slab — copy it to retain it
+// beyond the cohort's lifetime.
+func (c *Cohort) MemberSummary(m int) Summary {
+	lo, hi := int(c.toOff[m]), int(c.toOff[m+1])
+	return Summary{
+		StartupDelay:       c.sumStartup[m],
+		StallCount:         int(c.sumStallCnt[m]),
+		StallSec:           c.sumStallSec[m],
+		PlayedSec:          c.sumPlayed[m],
+		TimeOnTrack:        c.timeOnTrack[lo:hi:hi],
+		Switches:           int(c.sumSwitch[m]),
+		NonConsecutive:     int(c.sumNonCons[m]),
+		WeightedBitrateSec: c.sumWeighted[m],
+		PlayedMediaSec:     c.sumMedia[m],
+		TotalBytes:         c.totBytes[m],
+	}
+}

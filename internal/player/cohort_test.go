@@ -1,0 +1,330 @@
+package player
+
+// Differential tests for the vectorized background cohort (cohort.go).
+//
+// The contract is bit-exactness: a Cohort must be observationally
+// indistinguishable from the same members run as individual Background
+// flows — not within a tolerance, but byte-identical Summaries. Every
+// test here builds the same scenario twice (fresh networks, identical
+// construction order) and compares exactly.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/simnet"
+)
+
+// bgDraw is one drawn cohort member: its config (service template plus
+// per-viewer duration), arrival, and access trace.
+type bgDraw struct {
+	cfg     BackgroundConfig
+	startAt float64
+	trace   *netem.Profile
+	full    bool // mixed test: run the full player instead
+}
+
+// drawBackgrounds generates a seeded member population over a few
+// service-like templates: distinct ladders, segment grids and media
+// durations, with per-member session durations and arrivals.
+func drawBackgrounds(rng *rand.Rand, n int, mixed bool) []bgDraw {
+	traces := netem.CellularSet()
+	nTmpl := 2 + rng.Intn(3)
+	tmpls := make([]BackgroundConfig, nTmpl)
+	for i := range tmpls {
+		nr := 2 + rng.Intn(4)
+		ladder := make([]float64, nr)
+		base := 2e5 * (1 + rng.Float64()*2)
+		for r := range ladder {
+			ladder[r] = math.Round(base * math.Pow(1.5+rng.Float64(), float64(r)))
+		}
+		tmpls[i] = BackgroundConfig{
+			Declared:        ladder,
+			SegmentDuration: float64(2 + 2*rng.Intn(3)),
+			MediaDuration:   30 + rng.Float64()*90,
+		}
+		if rng.Intn(2) == 0 {
+			tmpls[i].SafetyFactor = 1.6
+		}
+	}
+	draws := make([]bgDraw, n)
+	for i := range draws {
+		cfg := tmpls[rng.Intn(nTmpl)]
+		cfg.SessionDuration = 15 + rng.Float64()*90
+		draws[i] = bgDraw{
+			cfg:     cfg,
+			startAt: rng.Float64() * 20,
+			trace:   traces[rng.Intn(len(traces))],
+			full:    mixed && rng.Intn(3) == 0,
+		}
+	}
+	return draws
+}
+
+// steppedEdge builds an edge profile whose value actually changes every
+// few seconds, so the scenario exercises profile-switch handling, not
+// just constant links.
+func steppedEdge(rng *rand.Rand, mbps float64, dur float64) *netem.Profile {
+	n := int(dur)
+	s := make([]float64, n)
+	v := mbps * 1e6
+	for i := range s {
+		if i%4 == 0 {
+			v = mbps * 1e6 * (0.5 + rng.Float64())
+		}
+		s[i] = math.Round(v)
+	}
+	return &netem.Profile{Name: "steppedEdge", SampleDur: 1, Samples: s}
+}
+
+// cloneSummary deep-copies a Summary so slab-aliasing views survive
+// comparison after the cohort is gone.
+func cloneSummary(s Summary) Summary {
+	s.TimeOnTrack = append([]float64(nil), s.TimeOnTrack...)
+	return s
+}
+
+// runAsBackgrounds executes the draws as individual Background flows
+// and returns their Summaries in member order.
+func runAsBackgrounds(t *testing.T, scfg simnet.Config, edge *netem.Profile, draws []bgDraw) []Summary {
+	t.Helper()
+	net := simnet.New(scfg, edge)
+	g := NewGroup()
+	bgs := make([]*Background, len(draws))
+	for i, d := range draws {
+		b := NewBackground(d.cfg, net)
+		b.SetStartAt(d.startAt)
+		b.SetAccessLink(net.NewAccessLink(d.trace))
+		if err := g.AddBackground(b); err != nil {
+			t.Fatal(err)
+		}
+		bgs[i] = b
+	}
+	g.Run()
+	out := make([]Summary, len(bgs))
+	for i, b := range bgs {
+		out[i] = cloneSummary(*b.Summary())
+	}
+	return out
+}
+
+// runAsCohort executes the same draws as one Cohort and returns the
+// member Summaries in member order.
+func runAsCohort(t *testing.T, scfg simnet.Config, edge *netem.Profile, draws []bgDraw) []Summary {
+	t.Helper()
+	net := simnet.New(scfg, edge)
+	g := NewGroup()
+	c := NewCohort(net)
+	for _, d := range draws {
+		i := c.Add(d.cfg)
+		c.SetStartAt(i, d.startAt)
+		c.SetAccessLink(i, net.NewAccessLink(d.trace))
+	}
+	if err := g.AddCohort(c); err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	out := make([]Summary, c.Len())
+	for i := range out {
+		out[i] = cloneSummary(c.MemberSummary(i))
+	}
+	return out
+}
+
+// compareSummaries requires byte-identical member digests.
+func compareSummaries(t *testing.T, ref, got []Summary) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("member count: %d backgrounds vs %d cohort members", len(ref), len(got))
+	}
+	for i := range ref {
+		if !reflect.DeepEqual(ref[i], got[i]) {
+			t.Errorf("member %d diverged:\n background: %+v\n cohort:     %+v", i, ref[i], got[i])
+		}
+	}
+}
+
+// TestCohortMatchesBackgrounds is the core differential sweep: seeds ×
+// contention levels (edge budgets from starved to ample), stepped edge
+// profiles, cellular access traces, mixed service templates. Every
+// member's Summary must be byte-identical between the per-session and
+// the vectorized run.
+func TestCohortMatchesBackgrounds(t *testing.T) {
+	for _, edge := range []struct {
+		name string
+		mbps float64
+	}{{"tight", 2}, {"medium", 10}, {"loose", 60}} {
+		for seed := int64(0); seed < 9; seed++ {
+			seed := seed
+			mbps := edge.mbps
+			t.Run(fmt.Sprintf("%s/seed%d", edge.name, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				draws := drawBackgrounds(rng, 3+rng.Intn(10), false)
+				p := steppedEdge(rng, mbps, 200)
+				ref := runAsBackgrounds(t, simnet.DefaultConfig(), p, draws)
+				got := runAsCohort(t, simnet.DefaultConfig(), p, draws)
+				compareSummaries(t, ref, got)
+			})
+		}
+	}
+}
+
+// TestCohortMatchesBackgroundsCellEngine repeats the differential sweep
+// with the simnet cell engine underneath — the exact configuration the
+// fleet runs — so the cohort and the anchored-flow engine are proven to
+// compose bit-exactly.
+func TestCohortMatchesBackgroundsCellEngine(t *testing.T) {
+	scfg := simnet.DefaultConfig()
+	scfg.Engine = simnet.EngineCell
+	for seed := int64(20); seed < 32; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			draws := drawBackgrounds(rng, 3+rng.Intn(10), false)
+			p := steppedEdge(rng, 3+rng.Float64()*30, 200)
+			ref := runAsBackgrounds(t, scfg, p, draws)
+			got := runAsCohort(t, scfg, p, draws)
+			compareSummaries(t, ref, got)
+		})
+	}
+}
+
+// TestCohortMixedWithSessions interleaves full player sessions with the
+// background tier — the fleet cell layout — and requires both the
+// sessions' Summaries and the background members' Summaries to be
+// byte-identical whether the backgrounds run individually or as one
+// cohort. The full sessions double as witnesses: if the cohort
+// perturbed the shared network in any way, their byte streams would
+// shift.
+func TestCohortMixedWithSessions(t *testing.T) {
+	org := buildOrigin(t, 4, false, media.VBR)
+	for seed := int64(40); seed < 48; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			draws := drawBackgrounds(rng, 4+rng.Intn(8), true)
+			p := steppedEdge(rng, 4+rng.Float64()*20, 400)
+
+			run := func(vectorized bool) ([]Summary, []Summary) {
+				net := simnet.New(simnet.DefaultConfig(), p)
+				g := NewGroup()
+				var sessions []*Session
+				var bgs []*Background
+				c := NewCohort(net)
+				for _, d := range draws {
+					if d.full {
+						s, err := NewSession(baseConfig(), org, net)
+						if err != nil {
+							t.Fatal(err)
+						}
+						s.SetLean()
+						s.SetStartAt(d.startAt)
+						s.SetAccessLink(net.NewAccessLink(d.trace))
+						if err := g.Add(s); err != nil {
+							t.Fatal(err)
+						}
+						sessions = append(sessions, s)
+						continue
+					}
+					if vectorized {
+						i := c.Add(d.cfg)
+						c.SetStartAt(i, d.startAt)
+						c.SetAccessLink(i, net.NewAccessLink(d.trace))
+					} else {
+						b := NewBackground(d.cfg, net)
+						b.SetStartAt(d.startAt)
+						b.SetAccessLink(net.NewAccessLink(d.trace))
+						if err := g.AddBackground(b); err != nil {
+							t.Fatal(err)
+						}
+						bgs = append(bgs, b)
+					}
+				}
+				if vectorized && c.Len() > 0 {
+					if err := g.AddCohort(c); err != nil {
+						t.Fatal(err)
+					}
+				}
+				g.Run()
+				var sessSums, bgSums []Summary
+				for _, s := range sessions {
+					sessSums = append(sessSums, cloneSummary(*s.Summary()))
+				}
+				if vectorized {
+					for i := 0; i < c.Len(); i++ {
+						bgSums = append(bgSums, cloneSummary(c.MemberSummary(i)))
+					}
+				} else {
+					for _, b := range bgs {
+						bgSums = append(bgSums, cloneSummary(*b.Summary()))
+					}
+				}
+				return sessSums, bgSums
+			}
+
+			refSess, refBg := run(false)
+			gotSess, gotBg := run(true)
+			compareSummaries(t, refSess, gotSess)
+			compareSummaries(t, refBg, gotBg)
+		})
+	}
+}
+
+// TestCohortObserverStreaming pins the observer contract: called
+// exactly once per member, with a scratch Summary equal to the member's
+// final digest.
+func TestCohortObserverStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	draws := drawBackgrounds(rng, 8, false)
+	p := steppedEdge(rng, 8, 200)
+	net := simnet.New(simnet.DefaultConfig(), p)
+	g := NewGroup()
+	c := NewCohort(net)
+	for _, d := range draws {
+		i := c.Add(d.cfg)
+		c.SetStartAt(i, d.startAt)
+		c.SetAccessLink(i, net.NewAccessLink(d.trace))
+	}
+	seen := make(map[int]Summary)
+	c.SetObserver(func(i int, s *Summary) {
+		if _, dup := seen[i]; dup {
+			t.Errorf("observer called twice for member %d", i)
+		}
+		seen[i] = cloneSummary(*s)
+	})
+	if err := g.AddCohort(c); err != nil {
+		t.Fatal(err)
+	}
+	g.Run()
+	if len(seen) != c.Len() {
+		t.Fatalf("observer saw %d members, want %d", len(seen), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		if want := cloneSummary(c.MemberSummary(i)); !reflect.DeepEqual(seen[i], want) {
+			t.Errorf("member %d: observed %+v, final %+v", i, seen[i], want)
+		}
+	}
+}
+
+// TestCohortRejectsLateAdd pins the freeze contract: a cohort cannot
+// grow after joining a group.
+func TestCohortRejectsLateAdd(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(), netem.Constant("c", 1e6, 60))
+	g := NewGroup()
+	c := NewCohort(net)
+	c.Add(BackgroundConfig{Declared: []float64{1e5}, SegmentDuration: 4, MediaDuration: 20})
+	if err := g.AddCohort(c); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after AddCohort did not panic")
+		}
+	}()
+	c.Add(BackgroundConfig{Declared: []float64{1e5}, SegmentDuration: 4, MediaDuration: 20})
+}

@@ -21,6 +21,7 @@ type Group struct {
 	net         *simnet.Network
 	sessions    []*Session
 	backgrounds []*Background
+	cohorts     []*Cohort
 	observer    func(*Session, *Result)
 	bgObserver  func(*Background)
 }
@@ -50,6 +51,25 @@ func (g *Group) AddBackground(b *Background) error {
 		return fmt.Errorf("player: all sessions in a group must share one network")
 	}
 	g.backgrounds = append(g.backgrounds, b)
+	return nil
+}
+
+// AddCohort registers a vectorized background cohort over the same
+// network. The cohort occupies one group member slot; its members are
+// scheduled by the cohort's internal deadline heap in ascending index
+// order — the same order individual Backgrounds added after all full
+// sessions would run in.
+func (g *Group) AddCohort(c *Cohort) error {
+	if c.Len() == 0 {
+		return fmt.Errorf("player: cohort has no members")
+	}
+	if g.net == nil {
+		g.net = c.net
+	} else if g.net != c.net {
+		return fmt.Errorf("player: all sessions in a group must share one network")
+	}
+	c.freeze()
+	g.cohorts = append(g.cohorts, c)
 	return nil
 }
 
@@ -198,18 +218,23 @@ func (h *groupHeap) swap(i, j int) {
 //vodlint:hotpath — lean-session event loop: one iteration per completed transfer
 func (g *Group) Run() []*Result {
 	nS := len(g.sessions)
-	nM := nS + len(g.backgrounds)
+	nB := len(g.backgrounds)
+	nM := nS + nB + len(g.cohorts)
 	if nM == 0 {
 		return nil
 	}
 	net := g.net
 	// Member ids: sessions in add order, then backgrounds in add order,
-	// so ascending id is exactly the eager scan order.
+	// then cohorts (each one slot), so ascending id is exactly the eager
+	// scan order.
 	for i, s := range g.sessions {
 		s.gidx = i
 	}
 	for j, b := range g.backgrounds {
 		b.gidx = nS + j
+	}
+	for k, c := range g.cohorts {
+		c.gidx = nS + nB + k
 	}
 	var h groupHeap
 	h.init(nM)
@@ -254,7 +279,7 @@ func (g *Group) Run() []*Result {
 					d = e
 				}
 				h.set(id, d)
-			} else {
+			} else if id < nS+nB {
 				b := g.backgrounds[id-nS]
 				if b.done {
 					continue
@@ -275,6 +300,25 @@ func (g *Group) Run() []*Result {
 					d = e
 				}
 				h.set(id, d)
+			} else {
+				// A cohort services its woken members internally (same
+				// per-member steps as the background branch above) and
+				// re-keys in the group heap at its earliest internal
+				// deadline; it leaves `remaining` when its last member
+				// finishes.
+				c := g.cohorts[id-nS-nB]
+				if c.live > 0 {
+					c.service(now)
+				}
+				if c.live == 0 {
+					if !c.retired {
+						c.retired = true
+						h.remove(id)
+						remaining--
+					}
+				} else {
+					h.set(id, c.minKey())
+				}
 			}
 		}
 		wake = wake[:0]
@@ -296,6 +340,9 @@ func (g *Group) Run() []*Result {
 					inflight += b.inflight
 				}
 			}
+			for _, c := range g.cohorts {
+				inflight += c.inflightSum()
+			}
 			if inflight == 0 {
 				for _, s := range g.sessions {
 					if !s.done {
@@ -306,6 +353,9 @@ func (g *Group) Run() []*Result {
 					if !b.done {
 						g.finishBackground(b)
 					}
+				}
+				for _, c := range g.cohorts {
+					c.finishAll()
 				}
 				break
 			}
@@ -319,7 +369,14 @@ func (g *Group) Run() []*Result {
 		// of the completed transfers, then sort so the wake list is in
 		// add order (insertion sort: batches are tiny and nearly sorted).
 		for h.len() > 0 && h.minKey() <= tnow+eps {
-			addWake(h.popMin())
+			id := h.popMin()
+			if id >= nS+nB {
+				// The cohort's group key is its internal minimum, so at
+				// least one member is due: move every due member onto
+				// the cohort's own wake list.
+				g.cohorts[id-nS-nB].wakeDue(tnow)
+			}
+			addWake(id)
 		}
 		for _, tr := range completed {
 			switch m := tr.Meta.(type) {
@@ -330,6 +387,11 @@ func (g *Group) Run() []*Result {
 			case *Background:
 				if !m.done {
 					addWake(m.gidx)
+				}
+			case *cohortRef:
+				if !m.c.memberDone(m.idx) {
+					m.c.wakeMember(m.idx)
+					addWake(m.c.gidx)
 				}
 			}
 		}
@@ -349,8 +411,12 @@ func (g *Group) Run() []*Result {
 				if s := g.sessions[id]; !s.done {
 					s.advancePlayback(tnow)
 				}
-			} else if b := g.backgrounds[id-nS]; !b.done {
-				b.advancePlayback(tnow)
+			} else if id < nS+nB {
+				if b := g.backgrounds[id-nS]; !b.done {
+					b.advancePlayback(tnow)
+				}
+			} else {
+				g.cohorts[id-nS-nB].advanceWoken(tnow)
 			}
 		}
 		for _, tr := range completed {
@@ -363,6 +429,10 @@ func (g *Group) Run() []*Result {
 			case *Background:
 				if !m.done {
 					m.onComplete(tr)
+				}
+			case *cohortRef:
+				if !m.c.memberDone(m.idx) {
+					m.c.onComplete(m.idx, tr)
 				}
 			}
 			net.Recycle(tr)

@@ -1,0 +1,569 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+)
+
+// The cell engine: EngineCell's anchored-flow event loop.
+//
+// A fleet cell is many mostly-idle clients behind one constant-capacity
+// edge link, each throttled by its own 1 Hz cellular access trace. The
+// scan engine (scanStepOnce) is already O(F) per event, but it must wake
+// at every profile sample boundary — including the edge profile's, whose
+// samples never change — and it materializes every flow's delivery at
+// every event, splitting each constant-rate stretch into one float
+// accumulation per boundary.
+//
+// The cell engine removes both costs while staying event-exact:
+//
+//   - Flow progress is anchored: each flowing transfer carries
+//     (remaining-at-anchor, anchor time aT, rate, finish time finishT)
+//     and is materialized only when its own rate actually changes, on
+//     abandonment, or at completion — where the exact residual is folded
+//     so per-flow conservation is precise to the last bit. Between
+//     rate changes, any number of skipped boundaries collapse into a
+//     single rate·Δt multiply.
+//
+//   - Wake-ups use netem's NextChange instead of NextBoundary, and the
+//     next-change instant is cached per link (l.nextChg), across links
+//     (n.linksNextChg) and for the edge (n.edgeNextChg), so the
+//     steady-state event does one float compare instead of two cursor
+//     walks per link. A sample boundary where the profile value does
+//     not change generates no event; the fleet's constant edge profile
+//     contributes no events at all, and an idle cell advances straight
+//     to its next arrival.
+//
+//   - Each flowing transfer caches its effective cap (tr.cap), and the
+//     engine tracks exactly which caps changed since the last rate
+//     assignment (n.dirtyFlows). An event that changed nothing does no
+//     allocation work at all; an event that changed some caps — a trace
+//     sample flip, a window doubling, a flow arriving at or leaving a
+//     shared access link — re-rates only the changed flows while every
+//     flow is cap-bound below the edge capacity (rates are independent
+//     in that regime: rate_i = cap_i, so arrivals and departures leave
+//     the other links' flows untouched); only a capacity change or
+//     leaving the all-capped regime reruns the full water-filling.
+//
+//   - Slow-start doublings are applied lazily. A doubling only matters
+//     when the window is the flow's binding constraint (capBps <= cap);
+//     a link- or static-bound connection generates no doubling events —
+//     its window is synced forward in one loop whenever its cap is next
+//     recomputed, and fully at completion, so the window trajectory is
+//     identical to the eager engine's.
+//
+//   - The event loop is fluid: cellStepOnce consumes rate-boundary
+//     events (trace flips, doublings, arrivals) internally and only
+//     returns to Step's dispatch loop on a completion batch, the
+//     deadline, or a flow-count handoff to the virtual-time engine.
+//
+// Rates themselves are computed by the same progressive water-filling as
+// the scan engine (allocate), with the all-capped fast path: when every
+// flowing connection is capped and the caps sum below the edge capacity
+// — the common state of a cell, where the access links are the
+// bottleneck — max-min assigns every flow exactly its cap, no sort
+// needed.
+//
+// The rate trajectory rate_i(t) is identical to the eager formulation;
+// only the instants where progress is folded into `remaining` differ
+// (fewer, longer constant-rate stretches), so completion times agree
+// with the scan engine within float accumulation order — the same
+// tolerance contract the vtime engine carries.
+//
+// Above vtimeEnter flowing transfers the network hands the flows to the
+// virtual-time engine exactly as EngineAuto does (hotspot cells), and the
+// cell engine takes them back below vtimeExit.
+
+// enterCell turns the anchored engine on: every flowing transfer is
+// re-anchored at the current instant and the next event recomputes rates.
+// Called when the engine starts and whenever the virtual-time engine
+// hands the flows back.
+func (n *Network) enterCell() {
+	for _, tr := range n.flowing {
+		tr.aT = n.now
+	}
+	n.cellDirty = true
+	n.edgeNextChg = n.now          // force a capacity refresh at the next event
+	n.linksNextChg = n.now         // force a link-sample refresh at the next event
+	n.capSum, n.numUncapped = 0, 0 // rebuilt by the forced full realloc
+	n.cmode = true
+}
+
+// exitCell materializes every anchored flow and syncs its window state,
+// then turns the engine off, so `remaining`, capBps and nextGrow are all
+// current when another engine (enterVTime) takes over.
+func (n *Network) exitCell() {
+	for _, tr := range n.flowing {
+		tr.Conn.syncGrow(n.now)
+		n.cellMaterialize(tr)
+	}
+	n.allocDirty = true
+	n.cmode = false
+}
+
+// syncGrow applies every window doubling due at or before now. The
+// doubling schedule is a pure function of time (nextGrow + k·RTT until
+// steadyCap), so applying it lazily here produces the exact capBps the
+// eager per-event grow loop would have.
+//
+//vodlint:hotpath — window sync: a few iterations, only when a cap is recomputed
+func (c *Conn) syncGrow(now float64) {
+	for c.nextGrow <= now && !math.IsInf(c.capBps, 1) {
+		c.capBps *= 2
+		c.nextGrow += c.net.cfg.RTT
+		if c.capBps >= c.net.steadyCap {
+			c.capBps = math.Inf(1)
+		}
+	}
+}
+
+// syncGrowBefore applies the doublings strictly before t. Completion
+// uses it: the eager engine removed a completed flow from the flowing
+// set before its end-of-event grow pass, so a doubling scheduled exactly
+// at the completion instant never applied.
+func (c *Conn) syncGrowBefore(t float64) {
+	for c.nextGrow < t && !math.IsInf(c.capBps, 1) {
+		c.capBps *= 2
+		c.nextGrow += c.net.cfg.RTT
+		if c.capBps >= c.net.steadyCap {
+			c.capBps = math.Inf(1)
+		}
+	}
+}
+
+// cellMaterialize folds a flow's anchored progress into `remaining` and
+// the delivered total, and re-anchors it at the current instant.
+//
+//vodlint:hotpath — per-flow fold: runs once per rate change, not per event
+func (n *Network) cellMaterialize(tr *Transfer) {
+	if dt := n.now - tr.aT; dt > 0 {
+		d := tr.rate * dt
+		if d > tr.remaining {
+			d = tr.remaining
+		}
+		tr.remaining -= d
+		n.delivered += d
+	}
+	tr.aT = n.now
+}
+
+// cellRecompute refreshes one flow's cached effective cap (the caller
+// has already synced the window) and queues the flow for re-rating if
+// the cap actually changed.
+//
+//vodlint:hotpath — cap memo refresh: runs per affected flow per cap change
+func (n *Network) cellRecompute(tr *Transfer) {
+	if c := tr.Conn.effCap(); c != tr.cap { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed cap value
+		n.cellCapSub(tr.cap)
+		n.cellCapAdd(c)
+		tr.cap = c
+		n.dirtyFlows = append(n.dirtyFlows, tr)
+	}
+}
+
+// cellCapAdd and cellCapSub keep the running cap sum and the uncapped
+// count in step with every cached-cap write, so the all-capped gate is
+// O(1) instead of a scan per re-rate event.
+//
+//vodlint:hotpath — cap-sum bookkeeping: two ops per cap change
+func (n *Network) cellCapAdd(c float64) {
+	if math.IsInf(c, 1) {
+		n.numUncapped++
+	} else {
+		n.capSum += c
+	}
+}
+
+//vodlint:hotpath — cap-sum bookkeeping: two ops per cap change
+func (n *Network) cellCapSub(c float64) {
+	if math.IsInf(c, 1) {
+		n.numUncapped--
+	} else {
+		n.capSum -= c
+	}
+}
+
+// cellCappedFast is the O(1) all-capped gate over the running sum. The
+// running sum drifts from the exact flowing-order sum only by float
+// accumulation dust (and every full realloc resets it), so away from
+// the capacity boundary it decides exactly as the scan would; within a
+// ±0.1% band of the boundary it defers to the exact scan.
+//
+//vodlint:hotpath — fast-path gate: O(1) per cap change
+func (n *Network) cellCappedFast() bool {
+	if n.numUncapped != 0 {
+		return false
+	}
+	c := n.lastCapacity
+	if n.capSum <= 0.999*c {
+		return true
+	}
+	if n.capSum > 1.001*c {
+		return false
+	}
+	return n.cellAllCapped()
+}
+
+// cellTouchLink refreshes the cached caps of every flow on tr's access
+// link (windows synced first), queueing the changed ones for re-rating.
+// insertFlowing and removeFlowing call it: a flow joining or leaving a
+// link changes its siblings' even shares — and nothing else, in the
+// all-capped regime. A linkless flow only touches itself.
+//
+//vodlint:hotpath — flow-set change: runs once per transfer arrival/departure
+func (n *Network) cellTouchLink(tr *Transfer) {
+	if l := tr.Conn.access; l != nil {
+		for _, m := range l.members {
+			m.Conn.syncGrow(n.now)
+			n.cellRecompute(m)
+		}
+	} else if tr.pos >= 0 {
+		tr.Conn.syncGrow(n.now)
+		n.cellRecompute(tr)
+	}
+}
+
+// cellFinish refreshes one flow's precomputed completion instant under
+// its current rate.
+//
+//vodlint:hotpath — finish-time refresh: runs once per flow per rate change
+func (n *Network) cellFinish(tr *Transfer) {
+	const epsBytes = 1e-6
+	switch {
+	case tr.remaining <= epsBytes:
+		tr.finishT = n.now
+	case tr.rate > 0:
+		tr.finishT = n.now + tr.remaining/tr.rate
+	default:
+		tr.finishT = math.Inf(1)
+	}
+}
+
+// cellAllCapped reports whether every flowing transfer is capped with
+// the caps summing below the edge capacity — the regime where max-min
+// assigns every flow exactly its cap. The sum is recomputed in flowing
+// order each time so the gate never drifts from what a full realloc
+// would decide.
+//
+//vodlint:hotpath — fast-path gate: one add per flow per cap change
+func (n *Network) cellAllCapped() bool {
+	sum := 0.0
+	for _, tr := range n.flowing {
+		if math.IsInf(tr.cap, 1) {
+			return false
+		}
+		sum += tr.cap
+	}
+	return sum <= n.lastCapacity
+}
+
+// cellReallocFull re-anchors every flowing transfer at n.now, syncs the
+// windows, recomputes every cached cap in one pass, reruns the max-min
+// rate assignment under the current capacity, and refreshes each flow's
+// completion instant.
+//
+//vodlint:hotpath — cell-engine water-filling: runs on capacity changes and regime shifts
+func (n *Network) cellReallocFull() {
+	now := n.now
+	sum := 0.0
+	uncapped := 0
+	for _, tr := range n.flowing {
+		c := tr.Conn
+		if c.nextGrow <= now && !math.IsInf(c.capBps, 1) {
+			c.syncGrow(now)
+		}
+		cp := c.effCap()
+		tr.cap = cp
+		if math.IsInf(cp, 1) {
+			uncapped++
+		} else {
+			sum += cp
+		}
+		n.cellMaterialize(tr)
+	}
+	n.capSum, n.numUncapped = sum, uncapped
+	allCapped := uncapped == 0
+	// Fast path: every connection capped (slow start, static cap, or an
+	// access-link share) with the caps summing below the edge capacity —
+	// the cell steady state, where access links are the bottleneck.
+	// Progressive water-filling assigns ascending caps before shares ever
+	// bind (cap_k ≤ Σcaps/N_k ≤ remaining/N_k by induction), so every
+	// flow gets exactly its cap and no sort is needed.
+	if allCapped && sum <= n.lastCapacity {
+		for _, tr := range n.flowing {
+			tr.rate = tr.cap
+		}
+		n.ratesAreCaps = true
+	} else {
+		n.cellAllocate(n.lastCapacity)
+		n.ratesAreCaps = false
+	}
+	for _, tr := range n.flowing {
+		n.cellFinish(tr)
+	}
+}
+
+// cellAllocate is allocate with the effective caps read from the
+// tr.cap memo the caller just refreshed (cellReallocFull) instead of
+// recomputed per flow: same paths, same arithmetic, same order.
+//
+//vodlint:hotpath — cell-engine water-filling: runs when the all-capped fast path does not apply
+func (n *Network) cellAllocate(capacity float64) {
+	flowing := n.flowing
+
+	if len(flowing) == 1 {
+		tr := flowing[0]
+		r := tr.cap
+		if r > capacity {
+			r = capacity
+		}
+		if r < 0 {
+			r = 0
+		}
+		tr.rate = r
+		return
+	}
+
+	// Steady-state fast path: all uncapped — shares assign in connection
+	// order exactly as the stable-sorted general path would.
+	if len(flowing) <= smallSortLen {
+		uncapped := true
+		for _, tr := range flowing {
+			if !math.IsInf(tr.cap, 1) {
+				uncapped = false
+				break
+			}
+		}
+		if uncapped {
+			remainingC := capacity
+			remainingN := len(flowing)
+			for _, tr := range flowing {
+				r := remainingC / float64(remainingN)
+				if r < 0 {
+					r = 0
+				}
+				tr.rate = r
+				remainingC -= r
+				remainingN--
+			}
+			return
+		}
+	}
+
+	items := n.items[:0]
+	for _, tr := range flowing {
+		items = append(items, capItem{tr, tr.cap})
+	}
+	if len(items) <= smallSortLen {
+		for i := 1; i < len(items); i++ {
+			for j := i; j > 0 && items[j].cap < items[j-1].cap; j-- {
+				items[j], items[j-1] = items[j-1], items[j]
+			}
+		}
+	} else {
+		sort.Slice(items, func(i, j int) bool { return items[i].cap < items[j].cap }) //vodlint:allow hotalloc — general path only: n > 16 flows in the cell; the fast paths above stay allocation-free
+	}
+	remainingC := capacity
+	remainingN := len(items)
+	for _, it := range items {
+		share := remainingC / float64(remainingN)
+		r := it.cap
+		if share < r {
+			r = share
+		}
+		if r < 0 {
+			r = 0
+		}
+		it.tr.rate = r
+		remainingC -= r
+		remainingN--
+	}
+	n.items = items
+}
+
+// cellStepOnce advances the cell engine and returns the next completion
+// batch (nil when the deadline, a pending handoff to the virtual-time
+// engine, or `until` arrived first). Rate-boundary events — trace
+// sample flips, binding window doublings, transfer arrivals — are
+// consumed inside the loop; the event set is the scan engine's minus
+// the no-change profile boundaries and the doublings of windows that
+// are not their flow's binding constraint.
+//
+//vodlint:hotpath — cell-engine event core: runs once per event across million-session fleets
+func (n *Network) cellStepOnce(until float64) []*Transfer {
+	for {
+		// Yield to Step's autoShift at the flow-count handoff threshold:
+		// the virtual-time engine takes over at the same decision point
+		// the per-event dispatch loop had (after the promoting event was
+		// processed here, before the next one).
+		if len(n.flowing) >= vtimeEnter {
+			return nil
+		}
+		n.promote()
+		now := n.now
+
+		// Refresh access-link samples whose cached change instant has
+		// arrived, gated by the cached minimum across links. All reads
+		// happen at n.now and each link is visited exactly once, so the
+		// refresh is order-independent; a changed sample value recomputes
+		// the member flows' caps (windows synced first).
+		if now >= n.linksNextChg {
+			next := math.Inf(1)
+			for _, l := range n.links {
+				if now >= l.nextChg {
+					r, nxt := l.cursor.ValueNext(now)
+					// Exact comparison on purpose: an unchanged piecewise-
+					// constant sample means the memoized rates are still
+					// valid; any real profile change flips the sample value
+					// exactly (same idiom as the scan engine).
+					if r != l.rateBps { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
+						l.rateBps = r
+						if !n.cellDirty {
+							for _, tr := range l.members {
+								tr.Conn.syncGrow(now)
+								n.cellRecompute(tr)
+							}
+						}
+					}
+					l.nextChg = nxt
+				}
+				if l.nextChg < next {
+					next = l.nextChg
+				}
+			}
+			n.linksNextChg = next
+		}
+
+		// Apply due window doublings that can change a cap: only a window
+		// that is its flow's binding constraint (capBps <= cap) generates
+		// wake-ups; every other window syncs lazily. Skipped entirely
+		// when a full realloc is already scheduled — it syncs and
+		// recomputes everything.
+		if !n.cellDirty {
+			for _, tr := range n.flowing {
+				c := tr.Conn
+				if c.nextGrow <= now && !math.IsInf(c.capBps, 1) && c.capBps <= tr.cap {
+					c.syncGrow(now)
+					n.cellRecompute(tr)
+				}
+			}
+		}
+
+		// Edge capacity, through the same cached change instant scheme.
+		// The fleet's constant edge never fires this after the first
+		// event.
+		if now >= n.edgeNextChg {
+			v, nxt := n.cursor.ValueNext(now)
+			// Exact comparison on purpose: an unchanged piecewise-constant
+			// capacity yields bit-identical rates (same idiom as the scan
+			// engine's memo).
+			if c := v / 8; c != n.lastCapacity { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
+				n.lastCapacity = c
+				n.cellDirty = true
+			}
+			n.edgeNextChg = nxt
+		}
+
+		// Idle cell: advance straight to the next arrival (or the
+		// deadline). Dirty state survives to the event where flows exist
+		// again.
+		if len(n.flowing) == 0 {
+			next := until
+			if k := n.pendHeap.MinKey(); k < next {
+				next = k
+			}
+			n.now = next
+			if next >= until {
+				return nil
+			}
+			continue
+		}
+
+		// Re-rate: full water-filling when the capacity changed or the
+		// last assignment was not cap-exact; cap-only re-rating of just
+		// the changed flows while every flow is cap-bound under the
+		// capacity (their rates are independent there); nothing at all
+		// when nothing changed — anchors, rates and finish times all
+		// stay valid.
+		switch {
+		case n.cellDirty:
+			n.cellReallocFull()
+			n.cellDirty = false
+			n.dirtyFlows = n.dirtyFlows[:0]
+		case len(n.dirtyFlows) > 0:
+			if n.ratesAreCaps && n.cellCappedFast() {
+				for _, tr := range n.dirtyFlows {
+					if tr.pos < 0 {
+						continue // left the flowing set after being queued
+					}
+					n.cellMaterialize(tr)
+					tr.rate = tr.cap
+					n.cellFinish(tr)
+				}
+			} else {
+				n.cellReallocFull()
+			}
+			n.dirtyFlows = n.dirtyFlows[:0]
+		}
+
+		// Next event bound: the deadline, a pending transfer's first
+		// byte, a binding window doubling, a precomputed completion, a
+		// cached link change, or a cached edge change.
+		next := until
+		if k := n.pendHeap.MinKey(); k < next {
+			next = k
+		}
+		for _, tr := range n.flowing {
+			c := tr.Conn
+			if c.nextGrow < next && !math.IsInf(c.capBps, 1) && c.capBps <= tr.cap {
+				next = c.nextGrow
+			}
+			if tr.finishT < next {
+				next = tr.finishT
+			}
+		}
+		if n.linksNextChg < next {
+			next = n.linksNextChg
+		}
+		if n.edgeNextChg < next {
+			next = n.edgeNextChg
+		}
+
+		tEvent := next
+		if tEvent <= now {
+			// Degenerate interval (floating point); nudge forward.
+			tEvent = math.Nextafter(now, math.Inf(1))
+		}
+
+		completed := n.completed[:0]
+		for _, tr := range n.flowing {
+			if tr.finishT <= tEvent {
+				// Fold the exact residual: per-flow delivery sums to Size
+				// precisely, with no epsilon dust left behind.
+				n.delivered += tr.remaining
+				tr.remaining = 0
+				tr.Done = true
+				tr.Completed = tEvent
+				tr.Conn.syncGrowBefore(tEvent)
+				tr.Conn.cur = nil
+				tr.Conn.lastActive = tEvent
+				completed = append(completed, tr)
+			}
+		}
+		n.now = tEvent
+		if len(completed) > 0 {
+			n.completed = completed
+			for _, tr := range completed {
+				n.removeFlowing(tr)
+			}
+			return completed
+		}
+		if tEvent >= until {
+			return nil
+		}
+	}
+}
+
+// CellActive reports whether the anchored cell engine currently owns the
+// live flows (exported for tests and benchmarks).
+func (n *Network) CellActive() bool { return n.cmode }

@@ -93,6 +93,17 @@ const (
 	// O(log F) per event, equivalent to EngineScan up to float
 	// accumulation order (see the differential tests).
 	EngineVTime
+	// EngineCell selects the anchored-flow engine built for fleet cells
+	// (cellengine.go): flow progress is a (rate, anchor-time) pair
+	// materialized only when rates actually change, and profile sample
+	// boundaries where the value does not change generate no events at
+	// all — a constant edge profile is event-free, and idle-cell seconds
+	// cost nothing. Equivalent to EngineScan up to float accumulation
+	// order (delivery is accumulated in one multiply per constant-rate
+	// stretch instead of one per boundary). Above vtimeEnter flowing
+	// transfers it hands off to the virtual-time engine exactly as
+	// EngineAuto does, and takes the flows back below vtimeExit.
+	EngineCell
 )
 
 const (
@@ -163,6 +174,15 @@ type Transfer struct {
 	hCap    int     // position in vtimeState.uncCap/capCap; -1 outside
 	hPend   int     // position in Network.pendHeap; -1 outside
 	accPos  int     // position in Conn.access.members; -1 while not attached
+
+	// Cell-engine state (cellengine.go). While the cell engine owns the
+	// flow, `remaining` is the value at the last re-anchor (aT) and the
+	// flow drains at `rate` from there; finishT is the precomputed
+	// completion instant under the current rate, and cap memoizes the
+	// connection's effective cap as of the last time it was recomputed.
+	aT      float64
+	finishT float64
+	cap     float64
 }
 
 // Remaining returns the bytes not yet delivered, as of the last engine
@@ -177,6 +197,12 @@ func (t *Transfer) Remaining() float64 {
 		return 0
 	case vCapd:
 		if r := t.vRem - t.vCap*(t.Conn.net.now-t.vAnchor); r > 0 {
+			return r
+		}
+		return 0
+	}
+	if t.pos >= 0 && t.Conn.net.cmode {
+		if r := t.remaining - t.rate*(t.Conn.net.now-t.aT); r > 0 {
 			return r
 		}
 		return 0
@@ -225,6 +251,7 @@ type AccessLink struct {
 	cursor  netem.Cursor
 	profile *netem.Profile
 	rateBps float64 // profile sample at the last refresh (bits/s)
+	nextChg float64 // cached cursor.NextChange as of the last refresh (cell engine)
 	flows   int     // flowing transfers currently carried by the link
 
 	members []*Transfer // the flowing transfers themselves (len == flows)
@@ -290,6 +317,9 @@ func (c *Conn) Close() {
 		if tr.vClass != vNone {
 			c.net.v.abandon(c.net, tr)
 		} else {
+			if c.net.cmode {
+				c.net.cellMaterialize(tr)
+			}
 			c.net.removeFlowing(tr)
 			c.net.removePending(tr)
 		}
@@ -350,7 +380,7 @@ type Network struct {
 	delivered float64 // total bytes delivered (for conservation checks)
 
 	// Incrementally maintained transfer sets (see the package comment).
-	flowing  []*Transfer    // first byte arrived, ordered by Conn.seq (dial order)
+	flowing  []*Transfer     // first byte arrived, ordered by Conn.seq (dial order)
 	pendHeap fheap[Transfer] // latency not yet elapsed, keyed by FlowAt
 	links    []*AccessLink   // access links with at least one flowing transfer
 	// Water-filling memo: rates stored on the flowing transfers stay
@@ -362,6 +392,25 @@ type Network struct {
 	// the live flows right now.
 	v     *vtimeState
 	vmode bool
+
+	// Cell engine (cellengine.go); cmode reports whether the anchored
+	// engine owns the live flows right now. cellDirty schedules a full
+	// water-filling (flow set or capacity changed); dirtyFlows queues
+	// flows whose cached cap changed since the last rate assignment;
+	// ratesAreCaps records that the last assignment gave every flow
+	// exactly its cap (the regime where changed flows can be re-rated
+	// independently); edgeNextChg caches the edge profile's next value
+	// change and linksNextChg the minimum cached change instant across
+	// active access links (conservative: a detached link may leave it
+	// low, costing one wasted scan, never a missed refresh).
+	cmode        bool
+	cellDirty    bool
+	ratesAreCaps bool
+	edgeNextChg  float64
+	linksNextChg float64
+	capSum       float64     // running sum of the finite cached caps of flowing transfers
+	numUncapped  int         // flowing transfers whose cached cap is +Inf
+	dirtyFlows   []*Transfer // scratch: flows to re-rate, cleared every event
 
 	items     []capItem   // scratch for allocate
 	completed []*Transfer // scratch returned by Step; valid until the next Step
@@ -402,6 +451,19 @@ func (n *Network) Profile() *netem.Profile { return n.profile }
 func (n *Network) Delivered() float64 {
 	if n.vmode {
 		return n.v.deliveredAt(n)
+	}
+	if n.cmode {
+		d := n.delivered
+		for _, tr := range n.flowing {
+			if dt := n.now - tr.aT; dt > 0 {
+				x := tr.rate * dt
+				if x > tr.remaining {
+					x = tr.remaining
+				}
+				d += x
+			}
+		}
+		return d
 	}
 	return n.delivered
 }
@@ -554,6 +616,20 @@ func (n *Network) insertFlowing(tr *Transfer) {
 	}
 	n.linkAttach(tr)
 	n.allocDirty = true
+	if n.cmode {
+		// Queue the new flow for rating unconditionally (its recycled cap,
+		// rate and finish time are blank) and refresh its link siblings'
+		// caps — their even shares changed. In the all-capped regime that
+		// is the entire effect of an arrival; outside it the re-rate pass
+		// falls back to the full water-filling anyway.
+		if l := tr.Conn.access; l != nil && l.nextChg < n.linksNextChg {
+			n.linksNextChg = l.nextChg
+		}
+		tr.cap = tr.Conn.effCap()
+		n.cellCapAdd(tr.cap)
+		n.dirtyFlows = append(n.dirtyFlows, tr)
+		n.cellTouchLink(tr)
+	}
 }
 
 // removeFlowing drops a transfer from the flowing set (completion or
@@ -573,6 +649,19 @@ func (n *Network) removeFlowing(tr *Transfer) {
 	tr.pos = -1
 	n.linkDetach(tr)
 	n.allocDirty = true
+	if n.cmode {
+		n.cellCapSub(tr.cap)
+		if n.ratesAreCaps {
+			// All-capped regime: a departure frees capacity without moving
+			// anyone off their cap — only the departed flow's link siblings
+			// change (their even shares grew). Refresh just those.
+			n.cellTouchLink(tr)
+		} else {
+			// Water-filling regime: the freed share redistributes across
+			// every remaining flow — full realloc at the next event.
+			n.cellDirty = true
+		}
+	}
 }
 
 // removePending drops a transfer whose first byte has not arrived yet
@@ -616,9 +705,12 @@ func (n *Network) Step(until float64) []*Transfer {
 	for n.now < until {
 		n.autoShift()
 		var completed []*Transfer
-		if n.vmode {
+		switch {
+		case n.vmode:
 			completed = n.vStepOnce(until)
-		} else {
+		case n.cmode:
+			completed = n.cellStepOnce(until)
+		default:
 			completed = n.scanStepOnce(until)
 		}
 		if len(completed) > 0 {
@@ -640,6 +732,21 @@ func (n *Network) autoShift() {
 		}
 	case EngineVTime:
 		if !n.vmode {
+			n.enterVTime()
+		}
+	case EngineCell:
+		// Same hysteresis as EngineAuto, with the cell engine playing the
+		// scan engine's role below the threshold.
+		switch {
+		case n.vmode:
+			if n.v.active() <= vtimeExit {
+				n.exitVTime()
+				n.enterCell()
+			}
+		case !n.cmode:
+			n.enterCell()
+		case len(n.flowing) >= vtimeEnter:
+			n.exitCell()
 			n.enterVTime()
 		}
 	default:
