@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check lint lint-vettool lint-audit verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke cache-determinism fleet-smoke fleet-scale
+.PHONY: build vet fmt fmt-check lint lint-vettool lint-audit verify test race bench bench-smoke bench-json bench-compare report fuzz-smoke cache-determinism fleet-smoke fleet-cache-cmp fleet-scale
 
 build:
 	$(GO) build ./...
@@ -127,6 +127,44 @@ fleet-smoke:
 	bin/vodfleet -sessions 600 -seed 1 -workers 8 -q -nocache -json "$$dir/w8.json" && \
 	cmp "$$dir/w1.json" "$$dir/w8.json" && \
 	echo "fleet-smoke: workers=1 and workers=8 reports are byte-identical"
+
+# Edge-cache determinism gate, mirroring fleet-smoke's cmp discipline
+# for the cdn tier (DESIGN.md §13). Three identities must hold:
+#   1. no -cache flag vs a transparent spec (zero-size edge, no TTL,
+#      unlimited metro) — the transparent config must normalize away and
+#      leave the report byte-identical, cdn section and all;
+#   2. workers=1 vs workers=8 with the full tier on (finite edge +
+#      metro + backhaul + cold cells + a mid-run edge failure) — cache
+#      state is per-cell/per-shard, so the schedule cannot reach it;
+#   3. determinism is not vacuous: the cached run must differ from the
+#      uncached one (the tier actually changed delivery).
+# FLEET_CACHE_SESSIONS=100000 (with FLEET_CACHE_FIDELITY=0.05) is the
+# CI scale tier; the cached runs also carry the heap ceiling so the
+# cache slabs stay inside the fleet memory contract.
+FLEET_CACHE_SESSIONS ?= 600
+FLEET_CACHE_FIDELITY ?= 1
+FLEET_CACHE_CEILING_MB ?= 512
+FLEET_CACHE_SPEC ?= edge:64MiB,metro:2GiB,ttl=6h
+fleet-cache-cmp:
+	$(GO) build -o bin/vodfleet ./cmd/vodfleet
+	dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	bin/vodfleet -sessions $(FLEET_CACHE_SESSIONS) -fidelity $(FLEET_CACHE_FIDELITY) \
+		-seed 1 -workers 4 -q -nocache -json "$$dir/off.json" && \
+	bin/vodfleet -sessions $(FLEET_CACHE_SESSIONS) -fidelity $(FLEET_CACHE_FIDELITY) \
+		-seed 1 -workers 4 -q -nocache \
+		-cache edge:0,metro:-1,ttl=0 -json "$$dir/inf.json" && \
+	cmp "$$dir/off.json" "$$dir/inf.json" && \
+	bin/vodfleet -sessions $(FLEET_CACHE_SESSIONS) -fidelity $(FLEET_CACHE_FIDELITY) \
+		-seed 1 -workers 2 -q -nocache -memceiling-mb $(FLEET_CACHE_CEILING_MB) \
+		-cache $(FLEET_CACHE_SPEC) -coldcells 0-3 -cachefail cell=5,t=60s \
+		-json "$$dir/c2.json" && \
+	bin/vodfleet -sessions $(FLEET_CACHE_SESSIONS) -fidelity $(FLEET_CACHE_FIDELITY) \
+		-seed 1 -workers 8 -q -nocache -memceiling-mb $(FLEET_CACHE_CEILING_MB) \
+		-cache $(FLEET_CACHE_SPEC) -coldcells 0-3 -cachefail cell=5,t=60s \
+		-json "$$dir/c8.json" && \
+	cmp "$$dir/c2.json" "$$dir/c8.json" && \
+	! cmp -s "$$dir/off.json" "$$dir/c2.json" && \
+	echo "fleet-cache-cmp: transparent cache byte-identical to disabled; cached fleet byte-identical across worker counts"
 
 # Scale gate: a 100k-session mixed-fidelity fleet (5% full player, 95%
 # background tier, 8 focus members) run at two worker counts must emit

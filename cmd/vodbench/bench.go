@@ -24,6 +24,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/cdn"
 	"repro/internal/expcache"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
@@ -284,6 +285,30 @@ func substrateSpecs() ([]benchSpec, error) {
 		// cohort.go or the cell engine.
 		{"substrate/fleet_cohort_1m", "substrate", func(b *testing.B) {
 			cfg := fleet.Config{Seed: 1, Sessions: 1_000_000, FidelityFull: -1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(context.Background(), cfg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// fleet_cdn_100k: the 100k-session fleet with the full edge-cache
+		// tier on (finite edge + metro + backhaul contention + a cold
+		// region + a mid-run edge failure), serial. The allocs/op gate is
+		// the zero-alloc steady-state contract for the cdn hot path: cache
+		// lookup/admit/evict and balancer routing recycle entries through
+		// the free list, so per-request allocation shows up here as an
+		// exact allocs/op regression against the baseline.
+		{"substrate/fleet_cdn_100k", "substrate", func(b *testing.B) {
+			cfg := fleet.Config{Seed: 1, Sessions: 100_000, FidelityFull: 0.05,
+				Cache: &cdn.CacheConfig{
+					EdgeBytes:  64 << 20,
+					MetroBytes: 2 << 30,
+					TTLSec:     6 * 3600,
+					ColdCells:  "0-3",
+					FailCell:   5,
+					FailAtSec:  60,
+				}}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := fleet.Run(context.Background(), cfg, 1); err != nil {

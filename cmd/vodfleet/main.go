@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cdn"
 	"repro/internal/fleet"
 )
 
@@ -128,6 +129,9 @@ func runSweep(cfg fleet.Config, spec string, workers int, jsonOut string, quiet 
 			fmt.Printf("== %s = %s ==\n", field, raw)
 			fmt.Println(rep.Summary().String())
 			fmt.Println(rep.CellTable().String())
+			if t := rep.CDNTable(); t != nil {
+				fmt.Println(t.String())
+			}
 			fmt.Print(rep.CDFPlots(plotW, plotH))
 		}
 	}
@@ -155,6 +159,9 @@ func main() {
 	fidelity := flag.Float64("fidelity", 0, "fraction of sessions at full player fidelity (0 = default 1, negative = all background tier)")
 	focus := flag.Int("focus", 0, "retain full per-session records for this many seeded focus members")
 	hotspot := flag.Float64("hotspot", 0, "fraction of the population concentrated on cell 0 (flash crowd; 0 = balanced cells)")
+	cacheSpec := flag.String("cache", "", "edge-cache tier spec, e.g. edge:512MiB,metro:8GiB,ttl=6h (empty = no cache tier)")
+	cacheFail := flag.String("cachefail", "", "edge-node failure injection, e.g. cell=3,t=120s (requires -cache)")
+	coldCells := flag.String("coldcells", "", "cells whose caches start cold, e.g. 0-15,40 (requires -cache)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	memCeiling := flag.Int("memceiling-mb", 0, "fail if live heap exceeds this many MiB during the run (0 = no ceiling)")
@@ -186,6 +193,24 @@ func main() {
 				cfg.Services = append(cfg.Services, s)
 			}
 		}
+	}
+	if *cacheSpec != "" {
+		cc, err := cdn.ParseCacheSpec(*cacheSpec)
+		if err != nil {
+			log.Fatalf("vodfleet: %v", err)
+		}
+		cc.ColdCells = *coldCells
+		if *cacheFail != "" {
+			if err := cdn.ParseFailSpec(*cacheFail, &cc); err != nil {
+				log.Fatalf("vodfleet: %v", err)
+			}
+		}
+		if _, err := cc.ColdSet(); err != nil {
+			log.Fatalf("vodfleet: %v", err)
+		}
+		cfg.Cache = &cc
+	} else if *cacheFail != "" || *coldCells != "" {
+		log.Fatalf("vodfleet: -cachefail and -coldcells need -cache")
 	}
 
 	// The heap ceiling is a self-gate for CI: a background sampler
@@ -281,5 +306,8 @@ func main() {
 	}
 	fmt.Println(rep.Summary().String())
 	fmt.Println(rep.CellTable().String())
+	if t := rep.CDNTable(); t != nil {
+		fmt.Println(t.String())
+	}
 	fmt.Print(rep.CDFPlots(*plotW, *plotH))
 }

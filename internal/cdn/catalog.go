@@ -1,0 +1,91 @@
+package cdn
+
+// Title is one service's media layout: wire sizes in bytes per
+// rendition track and segment index. fleet builds one Title per
+// configured service from its origin presentation.
+type Title struct {
+	Video [][]float64 // [track][segment]
+	Audio [][]float64
+}
+
+// Catalog is the full content library of a run. Warm-started caches
+// are filled with its popular prefix: ascending segment index first
+// (every viewer starts at segment 0, so low indices are the hot set),
+// then service, then video before audio, then ascending track.
+type Catalog struct {
+	Titles []Title
+
+	maxSegs int
+}
+
+// NewCatalog wraps titles and precomputes the warmup scan bound.
+func NewCatalog(titles []Title) *Catalog {
+	cat := &Catalog{Titles: titles}
+	for _, t := range titles {
+		for _, tr := range t.Video {
+			if len(tr) > cat.maxSegs {
+				cat.maxSegs = len(tr)
+			}
+		}
+		for _, tr := range t.Audio {
+			if len(tr) > cat.maxSegs {
+				cat.maxSegs = len(tr)
+			}
+		}
+	}
+	return cat
+}
+
+// WarmCache fills one cache with the popular prefix at virtual time 0,
+// stopping at the first object that no longer fits (so a warm cache
+// holds the prefix of the popularity order, never a churned tail).
+func (cat *Catalog) WarmCache(c *cache) {
+	if c == nil {
+		return
+	}
+	for seg := 0; seg < cat.maxSegs; seg++ {
+		for svc := range cat.Titles {
+			t := &cat.Titles[svc]
+			for track, sizes := range t.Video {
+				if seg >= len(sizes) {
+					continue
+				}
+				if !warmOne(c, Object{Catalog: int32(svc), Kind: KindVideo, Track: int32(track), Index: int32(seg)}, sizes[seg]) {
+					return
+				}
+			}
+			for track, sizes := range t.Audio {
+				if seg >= len(sizes) {
+					continue
+				}
+				if !warmOne(c, Object{Catalog: int32(svc), Kind: KindAudio, Track: int32(track), Index: int32(seg)}, sizes[seg]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func warmOne(c *cache, obj Object, size float64) bool {
+	if c.cap > 0 && c.used+size > c.cap {
+		return false
+	}
+	c.admit(0, obj, size)
+	return true
+}
+
+// Warm fills every edge node of a cell (they are replicas of the same
+// hot set).
+func (cat *Catalog) Warm(cell *Cell) {
+	for _, n := range cell.nodes {
+		cat.WarmCache(n)
+	}
+}
+
+// WarmMetro fills a shard's metro cache (no-op when the tier is
+// disabled).
+func (cat *Catalog) WarmMetro(m *Metro) {
+	if m != nil {
+		cat.WarmCache(m.c)
+	}
+}

@@ -1,0 +1,88 @@
+package cdn
+
+import "testing"
+
+func TestParseCacheSpec(t *testing.T) {
+	c, err := ParseCacheSpec("edge:512MiB,metro:8GiB,ttl=6h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EdgeBytes != 512<<20 {
+		t.Fatalf("EdgeBytes = %.0f, want %d", c.EdgeBytes, 512<<20)
+	}
+	if c.MetroBytes != 8<<30 {
+		t.Fatalf("MetroBytes = %.0f, want %d", c.MetroBytes, 8<<30)
+	}
+	if c.TTLSec != 6*3600 {
+		t.Fatalf("TTLSec = %.0f, want %d", c.TTLSec, 6*3600)
+	}
+	c, err = ParseCacheSpec("edge:0,metro:-1,ttl=0,nodes=2,backhaul=500,mrtt=20ms,ortt=80ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EdgeBytes != 0 || c.MetroBytes != -1 || c.EdgeNodes != 2 || c.BackhaulMbps != 500 {
+		t.Fatalf("sentinel spec parsed wrong: %+v", c)
+	}
+	if c.MetroRTTSec != 0.02 || c.OriginRTTSec != 0.08 {
+		t.Fatalf("RTT clauses parsed wrong: %+v", c)
+	}
+	for _, bad := range []string{"edge", "x:1", "edge:abc", "ttl=xh"} {
+		if _, err := ParseCacheSpec(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestParseFailSpec(t *testing.T) {
+	var c CacheConfig
+	if err := ParseFailSpec("cell=3,t=120s", &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.FailCell != 3 || c.FailAtSec != 120 {
+		t.Fatalf("fail spec parsed wrong: %+v", c)
+	}
+	var d CacheConfig
+	if err := ParseFailSpec("cell=3", &d); err == nil {
+		t.Fatal("fail spec without t= accepted")
+	}
+}
+
+func TestParseCellSet(t *testing.T) {
+	got, err := ParseCellSet("4,0-2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("ParseCellSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseCellSet = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"a", "3-1", "-2"} {
+		if _, err := ParseCellSet(bad); err == nil {
+			t.Fatalf("cell set %q parsed without error", bad)
+		}
+	}
+}
+
+func TestTransparent(t *testing.T) {
+	if !(CacheConfig{}).Transparent() {
+		t.Fatal("zero config must be transparent")
+	}
+	if !(CacheConfig{EdgeBytes: 0, TTLSec: 0, MetroBytes: -1}).Transparent() {
+		t.Fatal("unlimited warm config must be transparent")
+	}
+	for _, c := range []CacheConfig{
+		{EdgeBytes: 1000},
+		{TTLSec: 60},
+		{ColdCells: "0"},
+		{FailAtSec: 10},
+	} {
+		if c.Transparent() {
+			t.Fatalf("%+v must not be transparent", c)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package cdn
+
+import (
+	"testing"
+)
+
+// FuzzCacheInvariants drives one cache with an arbitrary operation
+// stream decoded from the fuzz input and checks the structural
+// invariants after every operation: used bytes never exceed the
+// capacity, used always equals the sum of resident entry sizes, the
+// LRU list and index stay consistent, and a fresh admit is immediately
+// visible.
+func FuzzCacheInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x10, 0x20})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		// Capacity and TTL come from the head of the stream so the
+		// fuzzer explores tiny and huge caches alike.
+		capBytes, ttl := 0.0, 0.0
+		if len(data) >= 2 {
+			capBytes = float64(data[0]) * 40
+			ttl = float64(data[1])
+			data = data[2:]
+		}
+		c := newCache(capBytes, ttl)
+		now := 0.0
+		for i := 0; i+3 < len(data); i += 4 {
+			op, a, b, d := data[i], data[i+1], data[i+2], data[i+3]
+			now += float64(d) / 16
+			obj := Object{Catalog: int32(a % 4), Kind: a % 2, Track: int32(b % 8), Index: int32(b)}
+			size := 1 + float64(a)*2
+			switch op % 4 {
+			case 0, 1:
+				c.admit(now, obj, size)
+				if capBytes <= 0 || size <= capBytes {
+					if !c.lookup(now+1e-9, obj) && ttl > 1e-9 {
+						t.Fatalf("op %d: fresh admit of %v not resident", i, obj)
+					}
+				}
+			case 2:
+				c.lookup(now, obj)
+			case 3:
+				c.drop()
+			}
+			if capBytes > 0 && c.used > capBytes+1e-9 {
+				t.Fatalf("op %d: used %.1f exceeds cap %.1f", i, c.used, capBytes)
+			}
+			checkStructure(t, c)
+		}
+	})
+}
+
+// checkStructure validates the list/index/accounting invariants.
+func checkStructure(t *testing.T, c *cache) {
+	t.Helper()
+	var used float64
+	n := 0
+	prev := nilEnt
+	for e := c.head; e != nilEnt; e = c.ent[e].next {
+		if c.ent[e].prev != prev {
+			t.Fatalf("list corrupt at %d", e)
+		}
+		if got, ok := c.idx[c.ent[e].obj]; !ok || got != e {
+			t.Fatalf("index out of sync at %d", e)
+		}
+		used += c.ent[e].size
+		n++
+		prev = e
+		if n > len(c.ent) {
+			t.Fatal("LRU list cycles")
+		}
+	}
+	if c.tail != prev || n != len(c.idx) {
+		t.Fatalf("tail/count mismatch: tail %d vs %d, %d vs %d entries", c.tail, prev, n, len(c.idx))
+	}
+	if diff := c.used - used; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("used %.3f != entry sum %.3f", c.used, used)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 
+	"repro/internal/cdn"
 	"repro/internal/qoe"
 )
 
@@ -322,6 +323,14 @@ type cellAgg struct {
 	offered    float64   // edge capacity integral over the cell run, bytes
 	full       int64     // sessions simulated at full fidelity
 	background int64     // sessions simulated as background flows
+
+	// Edge-cache tier (set when the run has a cdn config): the cell's
+	// cache counters plus cell-level QoE moments, kept so the fleet
+	// fold can couple per-cell hit ratio to per-cell QoE.
+	cdnOn       bool
+	cdnStats    cdn.Stats
+	cellStartup welford // per started session, within this cell
+	cellStall   welford // per started session with playback, within this cell
 }
 
 func newCellAgg(nsvc int) *cellAgg {
@@ -346,8 +355,10 @@ func (a *cellAgg) observe(svcIdx int, rep qoe.Report) {
 	a.bitrates = append(a.bitrates, rep.AvgBitrate)
 	if denom := rep.PlayedSec + rep.StallSec; denom > 0 {
 		a.cols.add(svcIdx, mStall, rep.StallSec/denom)
+		a.cellStall.add(rep.StallSec / denom)
 	}
 	a.cols.add(svcIdx, mStartup, rep.StartupDelay)
+	a.cellStartup.add(rep.StartupDelay)
 	if rep.PlayedSec > 0 {
 		a.cols.add(svcIdx, mSwitches, float64(rep.Switches)/(rep.PlayedSec/60))
 	}
@@ -361,6 +372,10 @@ func (a *cellAgg) finishCell(deliveredBytes, capacityIntegralBps float64) {
 	a.offered = capacityIntegralBps / 8
 }
 
+// nHitBuckets fixes the hit-ratio bucket grid of the QoE coupling
+// section: [0,0.2) … [0.8,1] — part of the report schema.
+const nHitBuckets = 5
+
 // fleetAgg folds cellAggs in cell-index order; shard aggregates fold
 // into the final fleetAgg in shard-index order.
 type fleetAgg struct {
@@ -371,6 +386,21 @@ type fleetAgg struct {
 	cellsMerged int
 	full        int64
 	background  int64
+
+	// Edge-cache fold: fleet-wide counters, the per-cell hit-ratio
+	// distribution, and the raw second moments for the Pearson
+	// correlation of cell hit ratio against cell mean startup and cell
+	// mean stall ratio. Every term is commutative-sum data, but the
+	// fold order is fixed anyway by the shard prefix merge.
+	cdnOn                              bool
+	cdnStats                           cdn.Stats
+	cellHit                            metricAgg
+	corrN                              int64
+	sumH, sumH2, sumQs, sumQs2, sumHQs float64
+	sumQt, sumQt2, sumHQt              float64
+	bktCells                           [nHitBuckets]int64
+	bktStartup                         [nHitBuckets]float64
+	bktStall                           [nHitBuckets]float64
 }
 
 func newFleetAgg(nsvc int) *fleetAgg {
@@ -378,7 +408,20 @@ func newFleetAgg(nsvc int) *fleetAgg {
 		cols:        newSvcCols(nsvc),
 		fairness:    metricAgg{h: newHist(0, 1, 20)},
 		utilization: metricAgg{h: newHist(0, utilHi, 24)},
+		cellHit:     metricAgg{h: newHist(0, 1, 20)}, // fully-hit cells land in Over, like jain == 1
 	}
+}
+
+// hitBucket maps a hit ratio to its coupling bucket.
+func hitBucket(h float64) int {
+	i := int(h * nHitBuckets)
+	if i >= nHitBuckets {
+		i = nHitBuckets - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
 }
 
 func (a *fleetAgg) merge(c *cellAgg) {
@@ -393,6 +436,28 @@ func (a *fleetAgg) merge(c *cellAgg) {
 	a.cellsMerged++
 	a.full += c.full
 	a.background += c.background
+	if c.cdnOn {
+		a.cdnOn = true
+		a.cdnStats.Add(c.cdnStats)
+		h := c.cdnStats.HitRatio()
+		a.cellHit.add(h)
+		if c.cellStartup.N > 0 {
+			qs, qt := c.cellStartup.Mean, c.cellStall.Mean
+			a.corrN++
+			a.sumH += h
+			a.sumH2 += h * h
+			a.sumQs += qs
+			a.sumQs2 += qs * qs
+			a.sumHQs += h * qs
+			a.sumQt += qt
+			a.sumQt2 += qt * qt
+			a.sumHQt += h * qt
+			b := hitBucket(h)
+			a.bktCells[b]++
+			a.bktStartup[b] += qs
+			a.bktStall[b] += qt
+		}
+	}
 }
 
 // mergeFleet folds another fleetAgg (a completed shard) into a.
@@ -404,6 +469,41 @@ func (a *fleetAgg) mergeFleet(o *fleetAgg) {
 	a.cellsMerged += o.cellsMerged
 	a.full += o.full
 	a.background += o.background
+	if o.cdnOn {
+		a.cdnOn = true
+		a.cdnStats.Add(o.cdnStats)
+		a.cellHit.merge(&o.cellHit)
+		a.corrN += o.corrN
+		a.sumH += o.sumH
+		a.sumH2 += o.sumH2
+		a.sumQs += o.sumQs
+		a.sumQs2 += o.sumQs2
+		a.sumHQs += o.sumHQs
+		a.sumQt += o.sumQt
+		a.sumQt2 += o.sumQt2
+		a.sumHQt += o.sumHQt
+		for i := 0; i < nHitBuckets; i++ {
+			a.bktCells[i] += o.bktCells[i]
+			a.bktStartup[i] += o.bktStartup[i]
+			a.bktStall[i] += o.bktStall[i]
+		}
+	}
+}
+
+// pearson computes the correlation coefficient from raw second
+// moments; 0 when either variable is constant (or n < 2).
+func pearson(n int64, sx, sx2, sy, sy2, sxy float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	fn := float64(n)
+	cov := fn*sxy - sx*sy
+	vx := fn*sx2 - sx*sx
+	vy := fn*sy2 - sy*sy
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
 }
 
 // jain computes Jain's fairness index: (Σx)² / (n·Σx²). 1 means every
@@ -503,8 +603,54 @@ type Report struct {
 	// edge capacity integral. Conservation bounds it by 1.
 	EdgeUtilization Dist           `json:"edge_utilization"`
 	Services        []ServiceStats `json:"services"`
+	// CDN summarizes the edge-cache tier; present only when the run had
+	// a cache config (so cache-disabled reports keep their exact bytes).
+	CDN *CDNReport `json:"cdn,omitempty"`
 	// Focus lists the retained focus sessions, sorted by (cell, member).
 	Focus []FocusSession `json:"focus,omitempty"`
+}
+
+// CDNBucket is one hit-ratio bucket of the QoE coupling section: the
+// cells whose edge hit ratio fell in [Lo, Hi) and their mean QoE.
+type CDNBucket struct {
+	Lo             float64 `json:"lo"`
+	Hi             float64 `json:"hi"`
+	Cells          int64   `json:"cells"`
+	MeanStartupSec float64 `json:"mean_startup_sec"`
+	MeanStallRatio float64 `json:"mean_stall_ratio"`
+}
+
+// CDNReport is the edge-cache section of the report: fleet-wide
+// request/byte counters, the per-cell hit-ratio distribution, and the
+// per-cell QoE-vs-hit-ratio coupling (Pearson correlations plus
+// bucketed means).
+type CDNReport struct {
+	EdgeHits    int64 `json:"edge_hits"`
+	EdgeMisses  int64 `json:"edge_misses"`
+	MetroHits   int64 `json:"metro_hits"`
+	MetroMisses int64 `json:"metro_misses"`
+	// Rerouted counts sessions the balancer moved to another edge node
+	// after their node died mid-stream.
+	Rerouted int64 `json:"rerouted_sessions"`
+	// HitRatio is the fleet-wide edge hit ratio over media requests.
+	HitRatio float64 `json:"hit_ratio"`
+	// HitBytes were served from edge nodes; BackhaulBytes traversed the
+	// shared backhaul (metro or origin); OriginBytes reached the origin.
+	HitBytes      float64 `json:"hit_bytes"`
+	BackhaulBytes float64 `json:"backhaul_bytes"`
+	OriginBytes   float64 `json:"origin_bytes"`
+	// OriginOffloadBytes is what the cache tier kept off the origin:
+	// media bytes served by an edge node or a metro cache.
+	OriginOffloadBytes float64 `json:"origin_offload_bytes"`
+	// CellHitRatio has one sample per cell (cells with no media
+	// requests count as 1).
+	CellHitRatio Dist `json:"cell_hit_ratio"`
+	// StartupHitCorr / StallHitCorr are the Pearson correlations of a
+	// cell's edge hit ratio against its mean startup delay and mean
+	// stall ratio — the per-cell QoE-vs-hit-ratio coupling.
+	StartupHitCorr float64     `json:"startup_hit_corr"`
+	StallHitCorr   float64     `json:"stall_hit_corr"`
+	Buckets        []CDNBucket `json:"hit_ratio_buckets"`
 }
 
 func (a *fleetAgg) report(cfg Config, cells int, focus []FocusSession) *Report {
@@ -532,6 +678,38 @@ func (a *fleetAgg) report(cfg Config, cells int, focus []FocusSession) *Report {
 			StartupDelaySec: a.cols.dist(i, mStartup),
 			SwitchesPerMin:  a.cols.dist(i, mSwitches),
 		}
+	}
+	if a.cdnOn {
+		s := a.cdnStats
+		c := &CDNReport{
+			EdgeHits:           s.EdgeHits,
+			EdgeMisses:         s.EdgeMisses,
+			MetroHits:          s.MetroHits,
+			MetroMisses:        s.MetroMisses,
+			Rerouted:           s.Rerouted,
+			HitRatio:           s.HitRatio(),
+			HitBytes:           s.HitBytes,
+			BackhaulBytes:      s.MissBytes,
+			OriginBytes:        s.OriginBytes,
+			OriginOffloadBytes: s.HitBytes + s.MissBytes - s.OriginBytes,
+			CellHitRatio:       a.cellHit.dist(),
+			StartupHitCorr:     pearson(a.corrN, a.sumH, a.sumH2, a.sumQs, a.sumQs2, a.sumHQs),
+			StallHitCorr:       pearson(a.corrN, a.sumH, a.sumH2, a.sumQt, a.sumQt2, a.sumHQt),
+			Buckets:            make([]CDNBucket, nHitBuckets),
+		}
+		for i := 0; i < nHitBuckets; i++ {
+			b := CDNBucket{
+				Lo:    float64(i) / nHitBuckets,
+				Hi:    float64(i+1) / nHitBuckets,
+				Cells: a.bktCells[i],
+			}
+			if b.Cells > 0 {
+				b.MeanStartupSec = a.bktStartup[i] / float64(b.Cells)
+				b.MeanStallRatio = a.bktStall[i] / float64(b.Cells)
+			}
+			c.Buckets[i] = b
+		}
+		r.CDN = c
 	}
 	return r
 }

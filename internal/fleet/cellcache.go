@@ -25,6 +25,7 @@ package fleet
 import (
 	"sync/atomic"
 
+	"repro/internal/cdn"
 	"repro/internal/expcache"
 )
 
@@ -62,9 +63,31 @@ func (cc *CellCache) Stats() CellCacheStats {
 // stream, size and workload parameters untouched hits regardless of
 // which sweep point produced the entry.
 func (cc *CellCache) key(cfg Config, k int) (expcache.Key, error) {
+	// The cache tier joins the key as (config, is-this-cell-cold,
+	// fail-armed-here): two sweep points that differ only in another
+	// cell's cold/fail status still share this cell's entry. Cells
+	// behind an active metro tier never reach this function (they are
+	// shard-coupled and bypass the cache in RunWithOptions).
+	cacheCfg := cdn.CacheConfig{}
+	cold, failHere := false, false
+	if cfg.Cache != nil {
+		cacheCfg = *cfg.Cache
+		set, err := cacheCfg.ColdSet()
+		if err != nil {
+			return expcache.Key{}, err
+		}
+		cold = set[k]
+		failHere = cacheCfg.FailAtSec > 0 && cacheCfg.FailCell == k
+		cacheCfg.ColdCells = ""
+		cacheCfg.FailCell = 0
+		if !failHere {
+			cacheCfg.FailAtSec = 0
+		}
+	}
 	return expcache.Fingerprint("fleetcell", expcache.EngineVersion,
 		cellSeed(cfg.Seed, k), cellSize(cfg, k),
 		cfg.ArrivalWindowSec, cfg.WatchSec,
 		cfg.AbandonProb, cfg.AbandonMeanSec,
-		cfg.EdgeMbps, cfg.FidelityFull, cfg.Services)
+		cfg.EdgeMbps, cfg.FidelityFull, cfg.Services,
+		cfg.Cache != nil, cacheCfg, cold, failHere)
 }

@@ -48,6 +48,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/cdn"
 	"repro/internal/expcache"
 	"repro/internal/netem"
 	"repro/internal/origin"
@@ -120,6 +121,14 @@ type Config struct {
 	// this list (paper names, e.g. "H1"; duplicates weight the mix).
 	// Empty means all 12 service models.
 	Services []string
+	// Cache enables the edge-cache tier (internal/cdn): per-cell edge
+	// nodes behind a load balancer, per-shard metro caches, and a shared
+	// backhaul link that cache misses traverse. nil means no cache tier
+	// — every request is served at edge rate, exactly the pre-cache
+	// behavior. A transparent config (unlimited warm caches, no TTL, no
+	// cold cells, no failure) normalizes to nil so its report bytes are
+	// identical to the cache-disabled tree.
+	Cache *cdn.CacheConfig `json:"cache,omitempty"`
 }
 
 // Normalized fills every default; the normalized config is what the
@@ -181,6 +190,20 @@ func (c Config) Normalized() (Config, error) {
 	for _, name := range c.Services {
 		if services.ByName(name) == nil {
 			return c, fmt.Errorf("fleet: unknown service %q", name)
+		}
+	}
+	if c.Cache != nil {
+		cc := c.Cache.Normalized()
+		if cc.Transparent() {
+			// An unlimited, warm, never-expiring cache with no failure
+			// serves every media request from the edge — byte-identical
+			// to no cache tier at all, so normalize it away.
+			c.Cache = nil
+		} else {
+			if _, err := cc.ColdSet(); err != nil {
+				return c, fmt.Errorf("fleet: %v", err)
+			}
+			c.Cache = &cc
 		}
 	}
 	return c, nil
@@ -378,6 +401,18 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Report, 
 	}
 	traces := netem.CellularSet()
 
+	// The cache tier's run-wide context: the cache config, the content
+	// catalog (for warm starts) and the cold-cell set. All immutable
+	// after this point, so shards share it freely.
+	var cdnRT *cdnRuntime
+	if cfg.Cache != nil {
+		cold, err := cfg.Cache.ColdSet()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %v", err) // unreachable: validated by Normalized
+		}
+		cdnRT = &cdnRuntime{cfg: *cfg.Cache, catalog: cdnCatalog(origins), cold: cold}
+	}
+
 	nCells := cellCount(cfg)
 	nShards := (nCells + cellsPerShard - 1) / cellsPerShard
 	focus := focusPlan(cfg)
@@ -409,6 +444,15 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Report, 
 		if hi > nCells {
 			hi = nCells
 		}
+		// The metro cache is shard state: created here, warmed once,
+		// and touched only by this shard's cells, which run strictly
+		// sequentially below — so its evolution is a pure function of
+		// the shard's cell order regardless of worker or schedule.
+		var metro *cdn.Metro
+		if cdnRT != nil {
+			metro = cdn.NewMetro(cdnRT.cfg)
+			cdnRT.catalog.WarmMetro(metro)
+		}
 		for c := lo; c < hi; c++ {
 			// A canceled context stops between cells, not just between
 			// shards: a single shard of large hotspot cells can run for
@@ -418,14 +462,19 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Report, 
 				return err
 			}
 			if cache := opts.CellCache; cache != nil {
-				if len(focus[c]) > 0 {
+				if len(focus[c]) > 0 || metro != nil {
 					// Focus cells produce per-member FocusSessions the
 					// cache does not capture — always run them cold.
+					// Metro-coupled cells both read and evolve the
+					// shard-shared metro cache, so their aggregates are
+					// not a pure function of (config, cell index):
+					// serving one from the memo would leave the metro
+					// un-evolved for the shard's later cells.
 					cache.skipped.Add(1)
 				} else if key, kerr := cache.key(cfg, c); kerr == nil {
 					c := c
 					ca, err := cache.memo.Get(key, func() (*cellAgg, error) {
-						ca, _, err := runCell(cfg, svcs, origins, bgTemplates, traces, c, nil)
+						ca, _, err := runCell(cfg, svcs, origins, bgTemplates, traces, cdnRT, nil, c, nil)
 						return ca, err
 					})
 					if err != nil {
@@ -438,7 +487,7 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Report, 
 					continue
 				}
 			}
-			ca, fs, err := runCell(cfg, svcs, origins, bgTemplates, traces, c, focus[c])
+			ca, fs, err := runCell(cfg, svcs, origins, bgTemplates, traces, cdnRT, metro, c, focus[c])
 			if err != nil {
 				return err
 			}
@@ -524,6 +573,43 @@ type sessMeta struct {
 	member int
 }
 
+// cdnRuntime is the run-wide immutable context of the cache tier.
+type cdnRuntime struct {
+	cfg     cdn.CacheConfig
+	catalog *cdn.Catalog
+	cold    map[int]bool
+}
+
+// cdnCatalog builds the cache tier's view of the content library — the
+// per-service segment-size grids — from the origin presentations. The
+// full player requests actual segment sizes, the background tier
+// requests declared-rate sizes; the catalog records the actuals, which
+// is what warm caches hold (cache keys only need the coordinates to
+// agree, and they do).
+func cdnCatalog(origins []*origin.Origin) *cdn.Catalog {
+	titles := make([]cdn.Title, len(origins))
+	for i, org := range origins {
+		t := &titles[i]
+		t.Video = make([][]float64, len(org.Pres.Video))
+		for j, r := range org.Pres.Video {
+			sizes := make([]float64, len(r.Segments))
+			for k, s := range r.Segments {
+				sizes[k] = float64(s.Size)
+			}
+			t.Video[j] = sizes
+		}
+		t.Audio = make([][]float64, len(org.Pres.Audio))
+		for j, r := range org.Pres.Audio {
+			sizes := make([]float64, len(r.Segments))
+			for k, s := range r.Segments {
+				sizes[k] = float64(s.Size)
+			}
+			t.Audio[j] = sizes
+		}
+	}
+	return cdn.NewCatalog(titles)
+}
+
 // runCell simulates one cell: every member session over one shared edge
 // link, each behind its own cellular access link, folded into the
 // cell's streaming aggregates as it finishes. Full-fidelity members run
@@ -531,7 +617,7 @@ type sessMeta struct {
 // members — and background members run the coarse analytic tier over
 // the same network. The cell is strictly single-threaded and
 // deterministic given (cfg, cellIdx).
-func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgTemplates []player.BackgroundConfig, traces []*netem.Profile, cellIdx int, focusMembers []int) (*cellAgg, []FocusSession, error) {
+func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgTemplates []player.BackgroundConfig, traces []*netem.Profile, cdnRT *cdnRuntime, metro *cdn.Metro, cellIdx int, focusMembers []int) (*cellAgg, []FocusSession, error) {
 	members := CellClients(cfg, cellIdx)
 	horizon := 0.0
 	for _, m := range members {
@@ -543,6 +629,17 @@ func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgT
 	scfg := simnet.DefaultConfig()
 	scfg.Engine = simnet.EngineCell
 	net := simnet.New(scfg, edge)
+
+	// The cell's edge-cache tier: its nodes, balancer and backhaul link
+	// are cell-private; the metro cache (possibly nil) is shard state.
+	var cdnCell *cdn.Cell
+	if cdnRT != nil {
+		backhaul := net.NewAccessLink(netem.Constant("backhaul", cdnRT.cfg.BackhaulMbps*1e6, horizon+1))
+		cdnCell = cdn.NewCell(cdnRT.cfg, cellIdx, metro, backhaul)
+		if !cdnRT.cold[cellIdx] {
+			cdnRT.catalog.Warm(cdnCell)
+		}
+	}
 
 	agg := newCellAgg(len(svcs))
 	var focusOut []FocusSession
@@ -573,6 +670,9 @@ func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgT
 			j := cohort.Add(bcfg)
 			cohort.SetStartAt(j, m.Arrival)
 			cohort.SetAccessLink(j, net.NewAccessLink(traces[m.Trace-1]))
+			if cdnCell != nil {
+				cohort.SetResolver(j, cdnCell.NewClient(i), int32(m.Service))
+			}
 			coSvc = append(coSvc, m.Service)
 			agg.background++
 			continue
@@ -588,6 +688,9 @@ func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgT
 		}
 		sess.SetStartAt(m.Arrival)
 		sess.SetAccessLink(net.NewAccessLink(traces[m.Trace-1]))
+		if cdnCell != nil {
+			sess.SetResolver(cdnCell.NewClient(i), int32(m.Service))
+		}
 		if err := g.Add(sess); err != nil {
 			return nil, nil, err
 		}
@@ -604,6 +707,10 @@ func runCell(cfg Config, svcs []*services.Service, origins []*origin.Origin, bgT
 	}
 	g.Run()
 	agg.finishCell(net.Delivered(), edge.Integral(0, net.Now()))
+	if cdnCell != nil {
+		agg.cdnOn = true
+		agg.cdnStats = cdnCell.Stats
+	}
 	return agg, focusOut, nil
 }
 

@@ -106,3 +106,34 @@ func (r *Report) CellTable() *textplot.Table {
 	add("edge utilization", r.EdgeUtilization)
 	return t
 }
+
+// CDNTable tabulates the edge-cache tier; nil when the run had no
+// cache config.
+func (r *Report) CDNTable() *textplot.Table {
+	c := r.CDN
+	if c == nil {
+		return nil
+	}
+	t := &textplot.Table{
+		Title: "Edge-cache tier",
+		Note: fmt.Sprintf("hit ratio %.1f%%, origin offload %.2f GB (origin carried %.2f GB), %d sessions re-routed",
+			c.HitRatio*100, c.OriginOffloadBytes/1e9, c.OriginBytes/1e9, c.Rerouted),
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("edge hits / misses", fmt.Sprintf("%d / %d", c.EdgeHits, c.EdgeMisses))
+	t.AddRow("metro hits / misses", fmt.Sprintf("%d / %d", c.MetroHits, c.MetroMisses))
+	t.AddRow("hit bytes", fmt.Sprintf("%.2f GB", c.HitBytes/1e9))
+	t.AddRow("backhaul bytes", fmt.Sprintf("%.2f GB", c.BackhaulBytes/1e9))
+	t.AddRow("cell hit ratio p10/p50/p90", fmt.Sprintf("%.3f / %.3f / %.3f",
+		c.CellHitRatio.P10, c.CellHitRatio.P50, c.CellHitRatio.P90))
+	t.AddRow("corr(hit ratio, startup)", fmt.Sprintf("%+.3f", c.StartupHitCorr))
+	t.AddRow("corr(hit ratio, stall)", fmt.Sprintf("%+.3f", c.StallHitCorr))
+	for _, b := range c.Buckets {
+		if b.Cells == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("cells @ hit %.1f-%.1f", b.Lo, b.Hi),
+			fmt.Sprintf("%d cells, startup %.2fs, stall %.1f%%", b.Cells, b.MeanStartupSec, b.MeanStallRatio*100))
+	}
+	return t
+}

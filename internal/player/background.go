@@ -3,6 +3,7 @@ package player
 import (
 	"math"
 
+	"repro/internal/cdn"
 	"repro/internal/simnet"
 )
 
@@ -75,6 +76,11 @@ type Background struct {
 	link *simnet.AccessLink
 	conn *simnet.Conn
 
+	// resolve, when non-nil, classifies segment requests against the
+	// cell's edge-cache tier; catID names the flow's title there.
+	resolve cdn.Resolver
+	catID   int32
+
 	startAt  float64
 	lastTime float64
 
@@ -133,6 +139,14 @@ func (b *Background) SetStartAt(t float64) {
 // SetAccessLink routes the flow through a per-client access link.
 func (b *Background) SetAccessLink(l *simnet.AccessLink) { b.link = l }
 
+// SetResolver routes the flow's segment requests through a cell's
+// edge-cache tier; catalog is the flow's title index in the cache
+// namespace.
+func (b *Background) SetResolver(r cdn.Resolver, catalog int32) {
+	b.resolve = r
+	b.catID = catalog
+}
+
 // Summary returns the flow's digest; complete once the group finished it.
 func (b *Background) Summary() *Summary { return &b.sum }
 
@@ -188,7 +202,12 @@ func (b *Background) issueRequests() {
 		b.conn = b.net.DialVia(b.link)
 	}
 	b.pendingDur, b.pendingTrak = dur, track
-	b.conn.Start(size, b)
+	if r := b.resolve; r != nil {
+		rt := r.Resolve(b.net.Now(), cdn.Object{Catalog: b.catID, Kind: cdn.KindVideo, Track: int32(track), Index: int32(b.nextSeg)}, size)
+		b.conn.StartVia(size, rt.ExtraLatency, rt.Upstream, b)
+	} else {
+		b.conn.Start(size, b)
+	}
 	b.inflight++
 }
 

@@ -3,6 +3,7 @@ package player
 import (
 	"math"
 
+	"repro/internal/cdn"
 	"repro/internal/simnet"
 )
 
@@ -42,6 +43,8 @@ type Cohort struct {
 	resume  []float64 // pause/resume hysteresis threshold per member
 	startAt []float64
 	link    []*simnet.AccessLink
+	resolve []cdn.Resolver // per-member edge-cache resolver, nil = origin
+	catID   []int32        // title index in the cache namespace
 
 	// Per-member control state, one slab entry per member (freeze).
 	flags     []uint8 // coStarted..coInflight bit field
@@ -144,6 +147,8 @@ func (c *Cohort) Add(cfg BackgroundConfig) int {
 	c.resume = append(c.resume, r)
 	c.startAt = append(c.startAt, 0)
 	c.link = append(c.link, nil)
+	c.resolve = append(c.resolve, nil)
+	c.catID = append(c.catID, 0)
 	return m
 }
 
@@ -164,6 +169,14 @@ func (c *Cohort) SetStartAt(i int, t float64) {
 
 // SetAccessLink routes member i through a per-client access link.
 func (c *Cohort) SetAccessLink(i int, l *simnet.AccessLink) { c.link[i] = l }
+
+// SetResolver routes member i's segment requests through a cell's
+// edge-cache tier; catalog is the member's title index in the cache
+// namespace.
+func (c *Cohort) SetResolver(i int, r cdn.Resolver, catalog int32) {
+	c.resolve[i] = r
+	c.catID[i] = catalog
+}
 
 // SetObserver registers fn, called exactly once per member as it
 // finishes with a scratch Summary valid only for the duration of the
@@ -383,7 +396,12 @@ func (c *Cohort) issueRequests(m int) {
 		c.conn[m] = c.net.DialVia(c.link[m])
 	}
 	c.pendDur[m], c.pendTrak[m] = dur, int32(track)
-	c.conn[m].Start(size, &c.refs[m])
+	if r := c.resolve[m]; r != nil {
+		rt := r.Resolve(c.net.Now(), cdn.Object{Catalog: c.catID[m], Kind: cdn.KindVideo, Track: int32(track), Index: c.nextSeg[m]}, size)
+		c.conn[m].StartVia(size, rt.ExtraLatency, rt.Upstream, &c.refs[m])
+	} else {
+		c.conn[m].Start(size, &c.refs[m])
+	}
 	c.flags[m] |= coInflight
 }
 

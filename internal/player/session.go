@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/adaptation"
+	"repro/internal/cdn"
 	"repro/internal/manifest"
 	"repro/internal/media"
 	"repro/internal/origin"
@@ -34,6 +35,13 @@ type Session struct {
 	// routes every connection through a per-client access link.
 	startAt float64
 	link    *simnet.AccessLink
+
+	// resolver, when non-nil, classifies every media segment request
+	// against the cell's edge-cache tier; catalogID names this
+	// session's title in the cache namespace. Documents (manifests,
+	// lazy HLS playlists) are pinned at the edge and never resolve.
+	resolver  cdn.Resolver
+	catalogID int32
 
 	// playback state
 	playhead       float64
@@ -131,6 +139,7 @@ type splitGroup struct {
 	remaining int
 	started   float64
 	bytes     float64
+	route     cdn.Route // resolved once for the whole segment; parts share it
 }
 
 // NewSession builds a session. The network must be freshly created for
@@ -204,6 +213,14 @@ func (s *Session) SetStartAt(t float64) {
 // given per-client access link (simnet.Network.NewAccessLink); nil
 // keeps the plain shared-link behaviour. Call before the session runs.
 func (s *Session) SetAccessLink(l *simnet.AccessLink) { s.link = l }
+
+// SetResolver routes this session's media requests through a cell's
+// edge-cache tier. catalog is the session's title index in the cache
+// namespace (the fleet service index). Must be called before Run.
+func (s *Session) SetResolver(r cdn.Resolver, catalog int32) {
+	s.resolver = r
+	s.catalogID = catalog
+}
 
 // SetLean puts the session in lean mode: no Result is ever allocated —
 // no per-segment display arrays, no download/transaction/event logs, no
@@ -347,13 +364,34 @@ func (s *Session) freeMeta(m *reqMeta) {
 	s.metaFree = append(s.metaFree, m)
 }
 
+//vodlint:hotpath
 func (s *Session) startTransfer(slot int, size float64, m *reqMeta) {
 	m.owner = s
 	m.slot = slot
 	c := s.conn(slot)
-	c.Start(size, m)
+	switch {
+	case m.kind == reqSeg && s.resolver != nil:
+		rt := s.resolver.Resolve(s.net.Now(), s.objectOf(m), size)
+		c.StartVia(size, rt.ExtraLatency, rt.Upstream, m)
+	case m.kind == reqPart:
+		rt := m.group.route
+		c.StartVia(size, rt.ExtraLatency, rt.Upstream, m)
+	default:
+		c.Start(size, m)
+	}
 	s.live[slot] = m
 	s.inflight++
+}
+
+// objectOf names a segment request in the cache namespace.
+//
+//vodlint:hotpath
+func (s *Session) objectOf(m *reqMeta) cdn.Object {
+	kind := cdn.KindVideo
+	if m.typ == media.TypeAudio {
+		kind = cdn.KindAudio
+	}
+	return cdn.Object{Catalog: s.catalogID, Kind: kind, Track: int32(m.track), Index: int32(m.index)}
 }
 
 // Run executes the session to completion and returns the result. It is
@@ -843,6 +881,10 @@ func (s *Session) issueSplit() {
 		parts = 1
 	}
 	g := &splitGroup{meta: *meta, remaining: parts, started: s.net.Now(), bytes: size} //vodlint:allow hotalloc — split mode only (SplitParts > 1): off by default in fleet runs
+	if meta.kind == reqSeg && s.resolver != nil {
+		// One cache verdict per segment; the ranged parts share it.
+		g.route = s.resolver.Resolve(s.net.Now(), s.objectOf(meta), size)
+	}
 	s.group = g
 	// Part weights: equal by default; SplitSkew > 0 inflates later
 	// parts, modelling split points chosen without regard to the

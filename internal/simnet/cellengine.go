@@ -205,21 +205,41 @@ func (n *Network) cellCappedFast() bool {
 }
 
 // cellTouchLink refreshes the cached caps of every flow on tr's access
-// link (windows synced first), queueing the changed ones for re-rating.
-// insertFlowing and removeFlowing call it: a flow joining or leaving a
-// link changes its siblings' even shares — and nothing else, in the
-// all-capped regime. A linkless flow only touches itself.
+// link and on its upstream link (windows synced first), queueing the
+// changed ones for re-rating. insertFlowing and removeFlowing call it:
+// a flow joining or leaving a link changes its siblings' even shares —
+// and nothing else, in the all-capped regime. A linkless flow only
+// touches itself. A flow carried by both lists of a touched link is
+// recomputed twice; the second pass sees an unchanged cap and is a
+// no-op.
 //
 //vodlint:hotpath — flow-set change: runs once per transfer arrival/departure
 func (n *Network) cellTouchLink(tr *Transfer) {
-	if l := tr.Conn.access; l != nil {
-		for _, m := range l.members {
-			m.Conn.syncGrow(n.now)
-			n.cellRecompute(m)
+	al, ul := tr.Conn.access, tr.upstream
+	if al == nil && ul == nil {
+		if tr.pos >= 0 {
+			tr.Conn.syncGrow(n.now)
+			n.cellRecompute(tr)
 		}
-	} else if tr.pos >= 0 {
-		tr.Conn.syncGrow(n.now)
-		n.cellRecompute(tr)
+		return
+	}
+	if al != nil {
+		n.cellTouchMembers(al)
+	}
+	if ul != nil && ul != al {
+		n.cellTouchMembers(ul)
+	}
+}
+
+//vodlint:hotpath — flow-set change: one pass over a touched link's flows
+func (n *Network) cellTouchMembers(l *AccessLink) {
+	for _, m := range l.members {
+		m.Conn.syncGrow(n.now)
+		n.cellRecompute(m)
+	}
+	for _, m := range l.upMembers {
+		m.Conn.syncGrow(n.now)
+		n.cellRecompute(m)
 	}
 }
 
@@ -419,10 +439,7 @@ func (n *Network) cellStepOnce(until float64) []*Transfer {
 					if r != l.rateBps { //vodlint:allow floateq — memo invalidation on a stored, never-recomputed sample value
 						l.rateBps = r
 						if !n.cellDirty {
-							for _, tr := range l.members {
-								tr.Conn.syncGrow(now)
-								n.cellRecompute(tr)
-							}
+							n.cellTouchMembers(l)
 						}
 					}
 					l.nextChg = nxt

@@ -158,6 +158,12 @@ type Transfer struct {
 	// Meta carries caller context (e.g. which segment this is).
 	Meta any
 
+	// upstream is an optional second shared link the response traverses
+	// in addition to the connection's access link — the cache-miss
+	// backhaul in the CDN topology. Set per request by Conn.StartVia;
+	// nil for responses served at the edge.
+	upstream *AccessLink
+
 	remaining float64
 	rate      float64 // last allocated rate, bytes/s (for inspection)
 	pos       int     // index in Network.flowing; -1 while not flowing
@@ -174,6 +180,7 @@ type Transfer struct {
 	hCap    int     // position in vtimeState.uncCap/capCap; -1 outside
 	hPend   int     // position in Network.pendHeap; -1 outside
 	accPos  int     // position in Conn.access.members; -1 while not attached
+	upPos   int     // position in upstream.upMembers; -1 while not attached
 
 	// Cell-engine state (cellengine.go). While the cell engine owns the
 	// flow, `remaining` is the value at the last re-anchor (aT) and the
@@ -254,9 +261,15 @@ type AccessLink struct {
 	nextChg float64 // cached cursor.NextChange as of the last refresh (cell engine)
 	flows   int     // flowing transfers currently carried by the link
 
-	members []*Transfer // the flowing transfers themselves (len == flows)
-	lpos    int         // position in Network.links while flows > 0; -1 outside
-	hBound  int         // position in vtimeState.bound; -1 outside
+	// The flowing transfers themselves, split by role: members carries
+	// transfers whose connection dialed via this link (access role),
+	// upMembers those routed through it as a per-request upstream
+	// (backhaul role). flows == len(members) + len(upMembers); the even
+	// split divides the budget across both lists together.
+	members   []*Transfer
+	upMembers []*Transfer
+	lpos      int // position in Network.links while flows > 0; -1 outside
+	hBound    int // position in vtimeState.bound; -1 outside
 }
 
 // Profile returns the bandwidth profile driving the link.
@@ -289,8 +302,10 @@ func (c *Conn) Established() bool { return c.established }
 func (c *Conn) InSlowStart() bool { return !math.IsInf(c.capBps, 1) }
 
 // effCap is the connection's effective rate ceiling in bytes/s: the
-// tightest of the slow-start window, the static per-connection cap, and
-// the connection's even share of its access link's current budget.
+// tightest of the slow-start window, the static per-connection cap, the
+// connection's even share of its access link's current budget, and —
+// for a request routed through an upstream (cache-miss backhaul) link —
+// its even share of that link's budget too.
 func (c *Conn) effCap() float64 {
 	r := c.capBps
 	if c.staticCap < r {
@@ -299,6 +314,13 @@ func (c *Conn) effCap() float64 {
 	if l := c.access; l != nil && l.flows > 0 {
 		if share := l.rateBps / 8 / float64(l.flows); share < r {
 			r = share
+		}
+	}
+	if tr := c.cur; tr != nil {
+		if l := tr.upstream; l != nil && l.flows > 0 {
+			if share := l.rateBps / 8 / float64(l.flows); share < r {
+				r = share
+			}
 		}
 	}
 	return r
@@ -333,6 +355,18 @@ func (c *Conn) Close() {
 //
 //vodlint:hotpath — per-request engine entry: one call per segment fetch
 func (c *Conn) Start(size float64, meta any) *Transfer {
+	return c.StartVia(size, 0, nil, meta)
+}
+
+// StartVia is Start for a request whose response is not served at the
+// connection's near end: the response additionally traverses `upstream`
+// (a shared backhaul link, nil for none) under the same even-split cap
+// rule as the access link, and pays extraLatency seconds of additional
+// first-byte delay (an origin or metro round trip). With extraLatency 0
+// and a nil upstream it is exactly Start.
+//
+//vodlint:hotpath — per-request engine entry: one call per segment fetch
+func (c *Conn) StartVia(size, extraLatency float64, upstream *AccessLink, meta any) *Transfer {
 	if c.closed {
 		panic("simnet: Start on closed connection")
 	}
@@ -344,7 +378,7 @@ func (c *Conn) Start(size float64, meta any) *Transfer {
 	}
 	cfg := c.net.cfg
 	now := c.net.now
-	latency := cfg.RTT // request up + first byte down
+	latency := cfg.RTT + extraLatency // request up + first byte down
 	initialCap := cfg.InitialWindowSegments * cfg.MSS / cfg.RTT
 	if !c.established {
 		latency += cfg.HandshakeRTTs * cfg.RTT
@@ -359,6 +393,7 @@ func (c *Conn) Start(size float64, meta any) *Transfer {
 	tr.Started = now
 	tr.FlowAt = now + latency
 	tr.Meta = meta
+	tr.upstream = upstream
 	tr.remaining = size
 	c.cur = tr
 	c.nextGrow = tr.FlowAt + cfg.RTT
@@ -516,7 +551,7 @@ func (n *Network) Recycle(tr *Transfer) {
 
 // blankTransfer is the reset value for new and recycled transfers:
 // every set/heap position cleared.
-var blankTransfer = Transfer{pos: -1, hFin: -1, hCap: -1, hPend: -1, accPos: -1}
+var blankTransfer = Transfer{pos: -1, hFin: -1, hCap: -1, hPend: -1, accPos: -1, upPos: -1}
 
 func (n *Network) newTransfer() *Transfer {
 	if k := len(n.free); k > 0 {
@@ -551,10 +586,15 @@ func (n *Network) removeConn(c *Conn) {
 }
 
 // linkAttach registers a transfer that just started flowing with its
-// connection's access link and, on a link's first flow, with the
-// network's active-link set.
+// connection's access link, with its per-request upstream link (if any),
+// and — on a link's first flow — with the network's active-link set.
 func (n *Network) linkAttach(tr *Transfer) {
-	l := tr.Conn.access
+	n.linkAttachOne(tr.Conn.access, tr, false)
+	n.linkAttachOne(tr.upstream, tr, true)
+}
+
+//vodlint:hotpath — link-set bookkeeping: one call per role per flow arrival
+func (n *Network) linkAttachOne(l *AccessLink, tr *Transfer, up bool) {
 	if l == nil {
 		return
 	}
@@ -562,30 +602,61 @@ func (n *Network) linkAttach(tr *Transfer) {
 		l.lpos = len(n.links)
 		n.links = append(n.links, l)
 	}
-	tr.accPos = len(l.members)
-	l.members = append(l.members, tr)
+	if up {
+		tr.upPos = len(l.upMembers)
+		l.upMembers = append(l.upMembers, tr)
+	} else {
+		tr.accPos = len(l.members)
+		l.members = append(l.members, tr)
+	}
 	l.flows++
 }
 
 // linkDetach is linkAttach's inverse; a link with no flows left leaves
-// the active-link set. Order within members and links is irrelevant
-// (both are refreshed/min-folded, never accumulated), so swap-delete.
+// the active-link set. Order within the member lists and links is
+// irrelevant (both are refreshed/min-folded, never accumulated), so
+// swap-delete.
 func (n *Network) linkDetach(tr *Transfer) {
-	l := tr.Conn.access
-	if l == nil || tr.accPos < 0 {
+	n.linkDetachOne(tr.Conn.access, tr, false)
+	n.linkDetachOne(tr.upstream, tr, true)
+}
+
+//vodlint:hotpath — link-set bookkeeping: one call per role per flow departure
+func (n *Network) linkDetachOne(l *AccessLink, tr *Transfer, up bool) {
+	if l == nil {
 		return
 	}
-	i, last := tr.accPos, len(l.members)-1
-	if i <= last && l.members[i] == tr {
-		if i != last {
-			l.members[i] = l.members[last]
-			l.members[i].accPos = i
+	if up {
+		i, last := tr.upPos, len(l.upMembers)-1
+		if i < 0 {
+			return
 		}
-		l.members[last] = nil
-		l.members = l.members[:last]
-		l.flows--
+		if i <= last && l.upMembers[i] == tr {
+			if i != last {
+				l.upMembers[i] = l.upMembers[last]
+				l.upMembers[i].upPos = i
+			}
+			l.upMembers[last] = nil
+			l.upMembers = l.upMembers[:last]
+			l.flows--
+		}
+		tr.upPos = -1
+	} else {
+		i, last := tr.accPos, len(l.members)-1
+		if i < 0 {
+			return
+		}
+		if i <= last && l.members[i] == tr {
+			if i != last {
+				l.members[i] = l.members[last]
+				l.members[i].accPos = i
+			}
+			l.members[last] = nil
+			l.members = l.members[:last]
+			l.flows--
+		}
+		tr.accPos = -1
 	}
-	tr.accPos = -1
 	if l.flows == 0 {
 		if j := l.lpos; j >= 0 && j < len(n.links) && n.links[j] == l {
 			lastL := len(n.links) - 1
@@ -623,6 +694,9 @@ func (n *Network) insertFlowing(tr *Transfer) {
 		// is the entire effect of an arrival; outside it the re-rate pass
 		// falls back to the full water-filling anyway.
 		if l := tr.Conn.access; l != nil && l.nextChg < n.linksNextChg {
+			n.linksNextChg = l.nextChg
+		}
+		if l := tr.upstream; l != nil && l.nextChg < n.linksNextChg {
 			n.linksNextChg = l.nextChg
 		}
 		tr.cap = tr.Conn.effCap()

@@ -186,10 +186,14 @@ func (v *vtimeState) updateCap(n *Network, tr *Transfer) {
 	}
 }
 
-// updateLinkCaps re-keys every flow on l after its even split changed
+// updateLinkCaps re-keys every flow on l — access-role and
+// upstream-role members alike — after its even split changed
 // (membership or budget change).
 func (v *vtimeState) updateLinkCaps(n *Network, l *AccessLink) {
 	for _, m := range l.members {
+		v.updateCap(n, m)
+	}
+	for _, m := range l.upMembers {
 		v.updateCap(n, m)
 	}
 }
@@ -248,19 +252,26 @@ func (n *Network) vAttach(tr *Transfer) {
 	v := n.v
 	tr.vRem = tr.remaining
 	n.linkAttach(tr)
-	l := tr.Conn.access
-	if l != nil && l.flows == 1 {
+	al, ul := tr.Conn.access, tr.upstream
+	if al != nil && al.flows == 1 {
 		// Newly active link: refresh its budget and schedule boundaries.
-		l.rateBps = l.cursor.At(n.now)
-		v.bound.Push(l, l.cursor.NextBoundary(n.now))
+		al.rateBps = al.cursor.At(n.now)
+		v.bound.Push(al, al.cursor.NextBoundary(n.now))
+	}
+	if ul != nil && ul != al && ul.flows == 1 {
+		ul.rateBps = ul.cursor.At(n.now)
+		v.bound.Push(ul, ul.cursor.NextBoundary(n.now))
 	}
 	v.addUnc(tr, tr.Conn.effCap())
 	if c := tr.Conn; c.InSlowStart() && c.hGrow < 0 {
 		v.grow.Push(c, c.nextGrow)
 	}
-	if l != nil && l.flows > 1 {
+	if al != nil && al.flows > 1 {
 		// The even split changed for every sibling on the link.
-		v.updateLinkCaps(n, l)
+		v.updateLinkCaps(n, al)
+	}
+	if ul != nil && ul != al && ul.flows > 1 {
+		v.updateLinkCaps(n, ul)
 	}
 }
 
@@ -272,15 +283,24 @@ func (n *Network) vDetach(tr *Transfer) {
 	if c := tr.Conn; c.hGrow >= 0 {
 		v.grow.Remove(c.hGrow)
 	}
-	l := tr.Conn.access
+	al, ul := tr.Conn.access, tr.upstream
 	n.linkDetach(tr)
-	if l != nil {
-		if l.flows == 0 {
-			if l.hBound >= 0 {
-				v.bound.Remove(l.hBound)
+	if al != nil {
+		if al.flows == 0 {
+			if al.hBound >= 0 {
+				v.bound.Remove(al.hBound)
 			}
 		} else {
-			v.updateLinkCaps(n, l)
+			v.updateLinkCaps(n, al)
+		}
+	}
+	if ul != nil && ul != al {
+		if ul.flows == 0 {
+			if ul.hBound >= 0 {
+				v.bound.Remove(ul.hBound)
+			}
+		} else {
+			v.updateLinkCaps(n, ul)
 		}
 	}
 }
